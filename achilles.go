@@ -1,0 +1,88 @@
+// Package achilles is the public API of the Achilles reproduction: a tool
+// that finds Trojan messages in distributed systems (Banabic, Candea,
+// Guerraoui — ASPLOS 2014).
+//
+// A Trojan message is a message that correct servers accept but that no
+// correct client can generate. Achilles extracts the client predicate PC
+// (all messages correct clients send) and the server predicate PS (all
+// messages servers accept) by symbolic execution of node models written in
+// the NL language, and searches the difference PS ∧ ¬PC incrementally while
+// exploring the server.
+//
+// Quick start:
+//
+//	server := achilles.MustCompile(serverSrc)
+//	client := achilles.MustCompile(clientSrc)
+//	run, err := achilles.Run(achilles.Target{
+//		Name:    "my-protocol",
+//		Server:  server,
+//		Clients: []achilles.ClientProgram{{Name: "client", Unit: client}},
+//	}, achilles.AnalysisOptions{})
+//	for _, trojan := range run.Analysis.Trojans {
+//		fmt.Println(trojan)
+//	}
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package achilles
+
+import (
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+)
+
+// Re-exported types: the analysis surface.
+type (
+	// Target bundles a server model, its client models and the message
+	// layout for one analysis.
+	Target = core.Target
+	// ClientProgram names one compiled client model.
+	ClientProgram = core.ClientProgram
+	// AnalysisOptions configure the server phase (mode, budgets, solver).
+	AnalysisOptions = core.AnalysisOptions
+	// RunResult carries the client predicate, the analysis result and the
+	// per-phase timing split.
+	RunResult = core.RunResult
+	// TrojanReport describes one discovered Trojan message class.
+	TrojanReport = core.TrojanReport
+	// ClientPredicate is the extracted PC with its preprocessing artifacts.
+	ClientPredicate = core.ClientPredicate
+	// Mode selects the optimisation level (full, no-differentFrom,
+	// a-posteriori).
+	Mode = core.Mode
+	// ExecOptions configure a symbolic or concrete engine run (local-state
+	// modes, budgets).
+	ExecOptions = symexec.Options
+	// Unit is a compiled NL node program.
+	Unit = lang.Unit
+)
+
+// Analysis modes (see §3.3/§6.4 of the paper).
+const (
+	ModeOptimized       = core.ModeOptimized
+	ModeNoDifferentFrom = core.ModeNoDifferentFrom
+	ModeAPosteriori     = core.ModeAPosteriori
+)
+
+// Compile parses, checks and lowers an NL node program.
+func Compile(src string) (*Unit, error) { return lang.Compile(src) }
+
+// MustCompile is Compile for known-good sources; it panics on error.
+func MustCompile(src string) *Unit { return lang.MustCompile(src) }
+
+// Run executes both Achilles phases on a target: client predicate
+// extraction (with preprocessing) followed by the server-side Trojan
+// search.
+func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
+	return core.Run(t, opts)
+}
+
+// ExtractClientPredicate runs only phase 1.
+func ExtractClientPredicate(clients []ClientProgram, opts core.ExtractOptions) (*ClientPredicate, error) {
+	return core.ExtractClientPredicate(clients, opts)
+}
+
+// AnalyzeServer runs only phase 2 against a preprocessed client predicate.
+func AnalyzeServer(server *Unit, pc *ClientPredicate, opts AnalysisOptions) (*core.Result, error) {
+	return core.AnalyzeServer(server, pc, opts)
+}

@@ -1,0 +1,137 @@
+// Command achilles runs the Trojan-message analysis on one of the bundled
+// targets and prints the discovered Trojan classes.
+//
+// Usage:
+//
+//	achilles -target fsp [-mode optimized|no-differentfrom|a-posteriori] [-json]
+//
+// Targets: kv, kv-fixed, fsp, fsp-glob, pbft, pbft-fixed, paxos-concrete,
+// paxos-symbolic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/fsp"
+	"achilles/internal/protocols/kv"
+	"achilles/internal/protocols/paxos"
+	"achilles/internal/protocols/pbft"
+)
+
+func targetByName(name string) (core.Target, error) {
+	switch name {
+	case "kv":
+		return kv.NewTarget(), nil
+	case "kv-fixed":
+		return kv.NewFixedTarget(), nil
+	case "fsp":
+		return fsp.NewTarget(false), nil
+	case "fsp-glob":
+		return fsp.NewTarget(true), nil
+	case "pbft":
+		return pbft.NewTarget(), nil
+	case "pbft-fixed":
+		return pbft.NewFixedTarget(), nil
+	case "paxos-concrete":
+		return paxos.ConcreteStateTarget(3, 7), nil
+	case "paxos-symbolic":
+		return paxos.SymbolicStateTarget(), nil
+	}
+	return core.Target{}, fmt.Errorf("unknown target %q", name)
+}
+
+func modeByName(name string) (core.Mode, error) {
+	switch name {
+	case "optimized", "":
+		return core.ModeOptimized, nil
+	case "no-differentfrom":
+		return core.ModeNoDifferentFrom, nil
+	case "a-posteriori":
+		return core.ModeAPosteriori, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", name)
+}
+
+func main() {
+	targetName := flag.String("target", "kv", "target system to analyse")
+	modeName := flag.String("mode", "optimized", "analysis mode")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	tgt, err := targetByName(*targetName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles:", err)
+		os.Exit(2)
+	}
+	mode, err := modeByName(*modeName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles:", err)
+		os.Exit(2)
+	}
+	run, err := core.Run(tgt, core.AnalysisOptions{Mode: mode})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		type jsonTrojan struct {
+			Index    int      `json:"index"`
+			Concrete []int64  `json:"concrete"`
+			Witness  string   `json:"witness"`
+			Fields   []string `json:"fields,omitempty"`
+			Verified bool     `json:"verified"`
+		}
+		var out struct {
+			Target      string       `json:"target"`
+			Mode        string       `json:"mode"`
+			ClientPaths int          `json:"client_paths"`
+			Trojans     []jsonTrojan `json:"trojans"`
+			TotalMS     int64        `json:"total_ms"`
+		}
+		out.Target = tgt.Name
+		out.Mode = mode.String()
+		out.ClientPaths = len(run.Clients.Paths)
+		out.TotalMS = run.Total().Milliseconds()
+		for _, tr := range run.Analysis.Trojans {
+			out.Trojans = append(out.Trojans, jsonTrojan{
+				Index:    tr.Index,
+				Concrete: tr.Concrete,
+				Witness:  tr.Witness.String(),
+				Fields:   tgt.FieldNames,
+				Verified: tr.VerifiedAccept && tr.VerifiedNotClient,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "achilles:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("target %s (mode %s): %d client path predicates\n",
+		tgt.Name, mode, len(run.Clients.Paths))
+	fmt.Printf("phases: extract %v, preprocess %v, server %v\n",
+		run.ClientExtractTime.Round(time.Millisecond),
+		run.PreprocessTime.Round(time.Millisecond),
+		run.ServerTime.Round(time.Millisecond))
+	if len(run.Analysis.Trojans) == 0 {
+		fmt.Println("no Trojan messages found")
+		return
+	}
+	fmt.Printf("%d Trojan message class(es):\n", len(run.Analysis.Trojans))
+	for _, tr := range run.Analysis.Trojans {
+		fmt.Printf("  #%d example=%v", tr.Index, tr.Concrete)
+		if len(tgt.FieldNames) > 0 {
+			fmt.Printf(" fields=%v", tgt.FieldNames)
+		}
+		fmt.Printf(" verified=%v\n", tr.VerifiedAccept && tr.VerifiedNotClient)
+	}
+}

@@ -1,0 +1,93 @@
+// Command benchtab regenerates the paper's evaluation tables and figures
+// (§6) as text rows.
+//
+// Usage:
+//
+//	benchtab -exp table1|fig10|fig11|fuzz|phases|ablation|pbft|macattack|wildcard|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"achilles/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate")
+	fuzzTests := flag.Int("fuzz-tests", 20000, "fuzzing campaign size")
+	flag.Parse()
+
+	run := func(name string, f func() (string, error)) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", func() (string, error) {
+		t, err := experiments.RunTable1(16)
+		if err != nil {
+			return "", err
+		}
+		return t.Render(), nil
+	})
+	run("fig10", func() (string, error) {
+		f, err := experiments.RunFigure10()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fig11", func() (string, error) {
+		f, err := experiments.RunFigure11()
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("fuzz", func() (string, error) {
+		f, err := experiments.RunFuzzComparison(*fuzzTests)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("phases", func() (string, error) {
+		p, err := experiments.RunPhaseSplit()
+		if err != nil {
+			return "", err
+		}
+		return p.Render(), nil
+	})
+	run("ablation", func() (string, error) {
+		a, err := experiments.RunAblation()
+		if err != nil {
+			return "", err
+		}
+		return a.Render(), nil
+	})
+	run("pbft", func() (string, error) {
+		p, err := experiments.RunPBFTAnalysis()
+		if err != nil {
+			return "", err
+		}
+		return p.Render(), nil
+	})
+	run("macattack", func() (string, error) {
+		return experiments.RunMACImpact(5000).Render(), nil
+	})
+	run("wildcard", func() (string, error) {
+		w, err := experiments.RunWildcard()
+		if err != nil {
+			return "", err
+		}
+		return w.Render(), nil
+	})
+}

@@ -1,0 +1,63 @@
+// fsp-firedrill injects every Trojan message Achilles finds in FSP into a
+// live UDP FSP server — the paper's fire-drill fault-injection scenario —
+// and then demonstrates the wildcard bug's collateral damage end to end.
+//
+// Run with: go run ./examples/fsp-firedrill
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"achilles/internal/inject"
+	"achilles/internal/protocols/fsp"
+)
+
+func main() {
+	server := fsp.NewServer()
+	us, err := fsp.ListenUDP("127.0.0.1:0", server)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer us.Close()
+	fmt.Printf("live FSP server on udp://%s\n", us.Addr())
+
+	client, err := fsp.UDPClient(us.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A valuable directory, standing in for 'fileWithAllMyBankAccounts'.
+	if _, err := client.Run("make_dir", "fil1"); err != nil {
+		log.Fatal(err)
+	}
+	outcomes, err := inject.FSPFireDrill(client.Send)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := inject.Summarize(outcomes)
+	fmt.Printf("injected %d Trojans over UDP: %d accepted, %d rejected, %d bytes smuggled\n",
+		s.Total, s.Accepted, s.Rejected, server.SmuggledBytes)
+
+	// Wildcard collateral damage: create 'fil*' via a Trojan, then watch a
+	// correct client destroy the innocent sibling while removing it.
+	trojan := make([]int64, fsp.NumFields)
+	trojan[fsp.FieldCmd] = 14 // make_dir
+	trojan[fsp.FieldLen] = 4
+	for i, ch := range []byte("fil*") {
+		trojan[fsp.FieldBuf+i] = int64(ch)
+	}
+	pkt, err := fsp.EncodeFields(trojan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Send(pkt); err != nil {
+		log.Fatal("trojan rejected: ", err)
+	}
+	fmt.Printf("\ntrojan created directory %q on the server\n", "fil*")
+	deleted, err := client.Run("del_dir", "fil*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("correct client ran `del_dir 'fil*'`; glob expansion deleted: %v\n", deleted)
+	fmt.Println("the valuable sibling directory is gone — the §6.3 wildcard hazard")
+}

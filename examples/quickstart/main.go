@@ -1,0 +1,96 @@
+// Quickstart: find the Trojan message in the paper's §2 working example — a
+// toy read/write server whose READ handler forgot the lower bounds check on
+// the address field.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"achilles"
+)
+
+// The vulnerable server (paper Figure 2), written in NL. Message fields:
+// 0 sender, 1 request, 2 address, 3 value, 4 crc.
+const serverSrc = `
+const DATASIZE = 100;
+const READ = 1;
+const WRITE = 2;
+const NPEERS = 4;
+var msg [5]int;
+
+func main() {
+	recv(msg);
+	if msg[0] < 0 || msg[0] >= NPEERS { reject(); }
+	if msg[4] != msg[0] + msg[1] + msg[2] + msg[3] { reject(); }
+	if msg[1] == READ {
+		if msg[2] >= DATASIZE { reject(); }
+		// BUG: forgot to check msg[2] < 0.
+		accept();
+	}
+	if msg[1] == WRITE {
+		if msg[2] >= DATASIZE { reject(); }
+		if msg[2] < 0 { reject(); }
+		accept();
+	}
+	reject();
+}`
+
+// The correct client (paper Figure 3): it validates the address before
+// sending, so no correct client ever sends a negative address.
+const clientSrc = `
+const DATASIZE = 100;
+const READ = 1;
+const WRITE = 2;
+const NPEERS = 4;
+var msg [5]int;
+
+func main() {
+	var peerID int = input();
+	assume(peerID >= 0);
+	assume(peerID < NPEERS);
+	var operationType int = input();
+	var address int = input();
+	if address >= DATASIZE { exit(); }
+	if address < 0 { exit(); }
+	if operationType == READ {
+		msg[0] = peerID; msg[1] = READ; msg[2] = address; msg[3] = 0;
+		msg[4] = msg[0] + msg[1] + msg[2] + msg[3];
+		send(msg);
+		exit();
+	}
+	if operationType == WRITE {
+		var value int = input();
+		msg[0] = peerID; msg[1] = WRITE; msg[2] = address; msg[3] = value;
+		msg[4] = msg[0] + msg[1] + msg[2] + msg[3];
+		send(msg);
+		exit();
+	}
+	exit();
+}`
+
+func main() {
+	run, err := achilles.Run(achilles.Target{
+		Name:       "quickstart-kv",
+		Server:     achilles.MustCompile(serverSrc),
+		Clients:    []achilles.ClientProgram{{Name: "kv-client", Unit: achilles.MustCompile(clientSrc)}},
+		FieldNames: []string{"sender", "request", "address", "value", "crc"},
+	}, achilles.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("client path predicates: %d\n", len(run.Clients.Paths))
+	fmt.Printf("Trojan classes found:   %d\n\n", len(run.Analysis.Trojans))
+	for _, tr := range run.Analysis.Trojans {
+		fmt.Printf("Trojan #%d\n", tr.Index)
+		fmt.Printf("  example message [sender request address value crc]: %v\n", tr.Concrete)
+		fmt.Printf("  verified: server accepts=%v, no client generates=%v\n",
+			tr.VerifiedAccept, tr.VerifiedNotClient)
+		fmt.Printf("  class: %s\n\n", tr.Witness)
+	}
+	fmt.Println("The READ path accepts negative addresses (and non-zero value fields)")
+	fmt.Println("that no correct client ever sends — the paper's §2 privacy leak.")
+}

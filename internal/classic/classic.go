@@ -1,0 +1,153 @@
+// Package classic implements the "classic symbolic execution" baseline of
+// §6.2 / Table 1: vanilla symbolic execution of the server followed by
+// message enumeration on every accepting path.
+//
+// Classic symbolic execution finds all messages the server accepts, but it
+// cannot tell Trojan messages apart from valid ones — they share accepting
+// paths — so its output drowns the 80 real Trojans in thousands of valid
+// messages. The experiment harness labels each enumerated message with the
+// ground-truth oracle to count true/false positives exactly as the paper's
+// Table 1 does.
+package classic
+
+import (
+	"time"
+
+	"achilles/internal/expr"
+	"achilles/internal/lang"
+	"achilles/internal/solver"
+	"achilles/internal/symexec"
+)
+
+// Message is one enumerated accepted message.
+type Message struct {
+	Fields  []int64
+	StateID int // accepting server state that produced it
+	PathLen int
+}
+
+// Options configure the baseline.
+type Options struct {
+	// NumFields is the message width (fields m0..m{n-1}).
+	NumFields int
+	// PerPath bounds how many distinct messages are enumerated per
+	// accepting path (default 16). SMT solvers are poor at enumerating all
+	// solutions (§6.2), which is exactly the weakness this baseline shows.
+	PerPath int
+	// Exec configures the engine; Solver overrides the solver.
+	Exec   symexec.Options
+	Solver *solver.Solver
+	// MsgPrefix matches the engine's message variable naming (default "m").
+	MsgPrefix string
+}
+
+// Result is the baseline output.
+type Result struct {
+	Messages        []Message
+	AcceptingStates int
+	Duration        time.Duration
+	EngineStats     symexec.Stats
+}
+
+// Enumerate runs vanilla symbolic execution on the server and enumerates
+// concrete accepted messages per accepting path using blocking clauses.
+func Enumerate(server *lang.Unit, opts Options) (*Result, error) {
+	if opts.PerPath == 0 {
+		opts.PerPath = 16
+	}
+	if opts.Solver == nil {
+		opts.Solver = solver.Default()
+	}
+	if opts.MsgPrefix == "" {
+		opts.MsgPrefix = "m"
+	}
+	start := time.Now()
+	execOpts := opts.Exec
+	execOpts.Solver = opts.Solver
+	engRes, err := symexec.Run(server, execOpts)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{EngineStats: engRes.Stats}
+	for _, st := range engRes.ByStatus(symexec.StatusAccepted) {
+		out.AcceptingStates++
+		out.Messages = append(out.Messages, enumeratePath(st, opts)...)
+	}
+	out.Duration = time.Since(start)
+	return out, nil
+}
+
+// enumeratePath asks the solver for up to PerPath distinct messages
+// satisfying one accepting path. Naive blocking clauses (disjunctions over
+// all fields) blow up the solver — the very inefficiency §6.2 ascribes to
+// SMT-based enumeration — so the baseline varies one field at a time
+// against a base model, which keeps every query a small conjunction.
+func enumeratePath(st *symexec.State, opts Options) []Message {
+	msgVars := make([]*expr.Expr, opts.NumFields)
+	for f := range msgVars {
+		msgVars[f] = expr.Var(opts.MsgPrefix + itoa(f))
+	}
+	res, model := opts.Solver.Check(st.Path)
+	if res != solver.Sat {
+		return nil
+	}
+	base := make([]int64, opts.NumFields)
+	for f := range base {
+		base[f] = model[msgVars[f].Name]
+	}
+	out := []Message{{Fields: base, StateID: st.ID, PathLen: len(st.Path)}}
+	// Pinning constraints for "all fields except f equal the base".
+	pin := func(except int) []*expr.Expr {
+		q := append([]*expr.Expr{}, st.Path...)
+		for g, mv := range msgVars {
+			if g != except {
+				q = append(q, expr.Eq(mv, expr.Const(base[g])))
+			}
+		}
+		return q
+	}
+	// Round-robin over fields, one fresh value per field per round.
+	exclusions := make([][]*expr.Expr, opts.NumFields)
+	for f := range exclusions {
+		exclusions[f] = []*expr.Expr{expr.Ne(msgVars[f], expr.Const(base[f]))}
+	}
+	exhausted := make([]bool, opts.NumFields)
+	for len(out) < opts.PerPath {
+		progress := false
+		for f := 0; f < opts.NumFields && len(out) < opts.PerPath; f++ {
+			if exhausted[f] {
+				continue
+			}
+			q := append(pin(f), exclusions[f]...)
+			res, model := opts.Solver.Check(q)
+			if res != solver.Sat {
+				exhausted[f] = true
+				continue
+			}
+			progress = true
+			v := model[msgVars[f].Name]
+			fields := append([]int64{}, base...)
+			fields[f] = v
+			out = append(out, Message{Fields: fields, StateID: st.ID, PathLen: len(st.Path)})
+			exclusions[f] = append(exclusions[f], expr.Ne(msgVars[f], expr.Const(v)))
+		}
+		if !progress {
+			break
+		}
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,86 @@
+package classic
+
+import (
+	"testing"
+
+	"achilles/internal/lang"
+	"achilles/internal/protocols/fsp"
+)
+
+func TestEnumerateSimpleServer(t *testing.T) {
+	unit := lang.MustCompile(`
+var msg [2]int;
+func main() {
+	recv(msg);
+	if msg[0] != 5 { reject(); }
+	if msg[1] < 0 { reject(); }
+	if msg[1] > 2 { reject(); }
+	accept();
+}`)
+	res, err := Enumerate(unit, Options{NumFields: 2, PerPath: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptingStates != 1 {
+		t.Fatalf("accepting states = %d", res.AcceptingStates)
+	}
+	// Only 3 messages exist: (5,0), (5,1), (5,2).
+	if len(res.Messages) != 3 {
+		t.Fatalf("enumerated %d messages: %+v", len(res.Messages), res.Messages)
+	}
+	seen := map[int64]bool{}
+	for _, m := range res.Messages {
+		if m.Fields[0] != 5 || m.Fields[1] < 0 || m.Fields[1] > 2 {
+			t.Fatalf("non-accepted message enumerated: %v", m.Fields)
+		}
+		if seen[m.Fields[1]] {
+			t.Fatalf("duplicate message: %v", m.Fields)
+		}
+		seen[m.Fields[1]] = true
+	}
+}
+
+func TestEnumerateRespectsPerPath(t *testing.T) {
+	unit := lang.MustCompile(`
+var msg [1]int;
+func main() {
+	recv(msg);
+	if msg[0] < 0 { reject(); }
+	if msg[0] > 100 { reject(); }
+	accept();
+}`)
+	res, err := Enumerate(unit, Options{NumFields: 1, PerPath: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Messages) != 5 {
+		t.Fatalf("messages = %d, want 5", len(res.Messages))
+	}
+}
+
+// TestFSPEnumerationMixesTrojansAndValid reproduces the Table 1 point: the
+// classic baseline's output mixes Trojan and valid messages with no way to
+// tell them apart.
+func TestFSPEnumerationMixesTrojansAndValid(t *testing.T) {
+	res, err := Enumerate(fsp.ServerUnit(), Options{NumFields: fsp.NumFields, PerPath: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AcceptingStates != 112 {
+		t.Fatalf("accepting states = %d", res.AcceptingStates)
+	}
+	trojan, valid := 0, 0
+	for _, m := range res.Messages {
+		if !fsp.Accepts(m.Fields) {
+			t.Fatalf("enumerated message is not accepted: %v", m.Fields)
+		}
+		if fsp.IsTrojan(m.Fields, false) {
+			trojan++
+		} else {
+			valid++
+		}
+	}
+	if trojan == 0 || valid == 0 {
+		t.Fatalf("expected a mix, got %d trojan / %d valid", trojan, valid)
+	}
+}

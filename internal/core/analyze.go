@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"achilles/internal/expr"
+	"achilles/internal/lang"
+	"achilles/internal/solver"
+	"achilles/internal/symexec"
+)
+
+// Mode selects which of the §3.3 optimisations are active; the §6.4 ablation
+// compares them.
+type Mode int
+
+// Analysis modes.
+const (
+	// ModeOptimized is full Achilles: per-state live client sets,
+	// differentFrom bulk dropping, and incremental Trojan checks that prune
+	// server states which no Trojan message can reach.
+	ModeOptimized Mode = iota
+	// ModeNoDifferentFrom disables the differentFrom bulk drop; every live
+	// client path is re-checked with the solver individually.
+	ModeNoDifferentFrom
+	// ModeAPosteriori mirrors the paper's non-optimised baseline: plain
+	// symbolic execution of the server first, then symbolic constraint
+	// differencing over the accepting paths afterwards.
+	ModeAPosteriori
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeOptimized:
+		return "optimized"
+	case ModeNoDifferentFrom:
+		return "no-differentFrom"
+	case ModeAPosteriori:
+		return "a-posteriori"
+	}
+	return "mode?"
+}
+
+// AnalysisOptions configure the server phase.
+type AnalysisOptions struct {
+	Mode Mode
+	// Exec configures the symbolic engine for the server run.
+	Exec symexec.Options
+	// Solver is shared by the engine and the Trojan checks; defaults to
+	// solver.Default().
+	Solver *solver.Solver
+	// SkipConcreteVerification disables the concrete replay of each Trojan
+	// example against the server model. It is forced on when the server
+	// runs with symbolic local state, which cannot be replayed concretely.
+	SkipConcreteVerification bool
+}
+
+// TrojanReport describes one discovered Trojan message class: an accepting
+// server path that admits messages no client path can generate.
+type TrojanReport struct {
+	Index         int
+	ServerStateID int
+	PathLen       int           // branch decisions on the accepting path
+	ServerPath    []*expr.Expr  // the accepting path constraints
+	Witness       *expr.Expr    // symbolic Trojan class (pathS ∧ ⋀ negate(pathC))
+	Concrete      []int64       // example Trojan message
+	StateEnv      expr.Env      // concrete world for symbolic local state (§3.4)
+	LiveClients   []int         // client paths still triggering the state
+	Elapsed       time.Duration // since analysis start
+
+	// VerifiedAccept: the concrete example was replayed against the server
+	// model and accepted. VerifiedNotClient: no client path predicate is
+	// satisfiable with the concrete example (the §4 soundness guard).
+	VerifiedAccept    bool
+	VerifiedNotClient bool
+}
+
+// TimelinePoint records cumulative discovery over time (Figure 10).
+type TimelinePoint struct {
+	Elapsed time.Duration
+	Found   int
+}
+
+// LivePoint records the live client-path count per server path length
+// (Figure 11).
+type LivePoint struct {
+	PathLen int
+	Live    int
+}
+
+// Result is the outcome of a server analysis.
+type Result struct {
+	Trojans   []TrojanReport
+	Timeline  []TimelinePoint
+	LiveTrace []LivePoint
+
+	AcceptingStates int // accepting states reached during exploration
+	PrunedStates    int // states pruned because no Trojan could reach them
+	FilteredReports int // accepting states whose Trojan query was unsat/unknown
+	BulkDrops       int // client paths dropped via differentFrom (no solver call)
+	BindKeyHits     int // triggerability verdicts shared via canonical bind keys
+	Duration        time.Duration
+	EngineStats     symexec.Stats
+	SolverStats     solver.Stats
+}
+
+// liveData is the per-state analysis payload: the IDs of client path
+// predicates that can still trigger the state.
+type liveData struct {
+	live []int
+}
+
+// CloneData implements symexec.StateData.
+func (d *liveData) CloneData() symexec.StateData {
+	return &liveData{live: append([]int{}, d.live...)}
+}
+
+// analysis carries the run context.
+type analysis struct {
+	server *lang.Unit
+	pc     *ClientPredicate
+	opts   AnalysisOptions
+	sol    *solver.Solver
+	res    *Result
+	start  time.Time
+}
+
+// AnalyzeServer runs the Achilles server phase against a compiled server
+// model and a preprocessed client predicate.
+func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions) (*Result, error) {
+	if opts.Solver == nil {
+		opts.Solver = solver.Default()
+	}
+	a := &analysis{
+		server: server,
+		pc:     pc,
+		opts:   opts,
+		sol:    opts.Solver,
+		res:    &Result{},
+		start:  time.Now(),
+	}
+	execOpts := opts.Exec
+	execOpts.Solver = a.sol
+	switch opts.Mode {
+	case ModeAPosteriori:
+		// Phase A: plain symbolic execution (classic S2E run).
+		engRes, err := symexec.Run(server, execOpts)
+		if err != nil {
+			return nil, err
+		}
+		a.res.EngineStats = engRes.Stats
+		// Phase B: symbolic constraint differencing over accepting paths.
+		for _, st := range engRes.ByStatus(symexec.StatusAccepted) {
+			a.res.AcceptingStates++
+			live := a.liveFromScratch(st.Path)
+			a.reportIfTrojan(st, live)
+		}
+	default:
+		execOpts.Hooks = symexec.Hooks{
+			OnBranch: a.onBranch,
+			OnAccept: a.onAccept,
+		}
+		engRes, err := symexec.Run(server, execOpts)
+		if err != nil {
+			return nil, err
+		}
+		a.res.EngineStats = engRes.Stats
+		a.res.PrunedStates = len(engRes.ByStatus(symexec.StatusPruned))
+	}
+	a.res.Duration = time.Since(a.start)
+	a.res.SolverStats = a.sol.Stats()
+	return a.res, nil
+}
+
+// ensureData lazily attaches the live set (all client paths) to a state.
+func (a *analysis) ensureData(st *symexec.State) *liveData {
+	if d, ok := st.Data.(*liveData); ok {
+		return d
+	}
+	d := &liveData{live: make([]int, len(a.pc.Paths))}
+	for i := range a.pc.Paths {
+		d.live[i] = i
+	}
+	st.Data = d
+	return d
+}
+
+// triggerable asks whether client path i can still trigger the server path.
+func (a *analysis) triggerable(serverPath []*expr.Expr, i int) bool {
+	cp := a.pc.Paths[i]
+	q := make([]*expr.Expr, 0, len(serverPath)+len(cp.bind))
+	q = append(q, serverPath...)
+	q = append(q, cp.bind...)
+	res, _ := a.sol.Check(q)
+	return res != solver.Unsat
+}
+
+// liveFromScratch computes the live set for a path with no incremental
+// state (a-posteriori mode).
+func (a *analysis) liveFromScratch(serverPath []*expr.Expr) []int {
+	var live []int
+	byKey := map[string]bool{}
+	for i := range a.pc.Paths {
+		key := a.pc.Paths[i].bindKey
+		ok, seen := byKey[key]
+		if !seen {
+			ok = a.triggerable(serverPath, i)
+			byKey[key] = ok
+		}
+		if ok {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// singleFieldOf returns the message field index when every variable of cond
+// belongs to exactly one message field, else -1. Used to gate the
+// differentFrom bulk drop.
+func (a *analysis) singleFieldOf(cond *expr.Expr) int {
+	field := -1
+	for _, v := range expr.Vars(cond) {
+		f := a.pc.FieldIndexOfVar(v)
+		if f < 0 {
+			return -1 // touches non-message state
+		}
+		if field == -1 {
+			field = f
+		} else if field != f {
+			return -1
+		}
+	}
+	return field
+}
+
+// onBranch updates the live set and prunes states that no Trojan can reach.
+func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
+	d := a.ensureData(st)
+	// differentFrom bulk drop (§3.3): when the new constraint touches a
+	// single independent field f and pathC_i was already dropped by it,
+	// every pathC_j with no extra values on field f (differentFrom = No)
+	// must die with it — without consulting the solver.
+	bulkField := -1
+	if a.opts.Mode == ModeOptimized {
+		bulkField = a.singleFieldOf(cond)
+	}
+	// Drop client paths that can no longer trigger this server path. Paths
+	// with the same canonical message-relevant signature share one solver
+	// verdict (flag-style variants admit exactly the same messages).
+	var kept, dropped []int
+	byKey := map[string]bool{}
+	for _, j := range d.live {
+		bulk := false
+		if bulkField >= 0 {
+			for _, i := range dropped {
+				if a.pc.differentFrom[j][i][bulkField] == TriNo {
+					bulk = true
+					break
+				}
+			}
+		}
+		if bulk {
+			a.res.BulkDrops++
+			dropped = append(dropped, j)
+			continue
+		}
+		key := a.pc.Paths[j].bindKey
+		ok, seen := byKey[key]
+		if !seen {
+			ok = a.triggerable(st.Path, j)
+			byKey[key] = ok
+		} else {
+			a.res.BindKeyHits++
+		}
+		if ok {
+			kept = append(kept, j)
+		} else {
+			dropped = append(dropped, j)
+		}
+	}
+	d.live = kept
+	a.res.LiveTrace = append(a.res.LiveTrace, LivePoint{PathLen: len(st.Path), Live: len(kept)})
+	// Incremental Trojan check: discard the state as soon as no Trojan
+	// message can trigger it (Figure 7).
+	return a.trojanPossible(st.Path, kept)
+}
+
+// trojanPossible checks sat(pathS ∧ ⋀ negate(pathC_i)) for the live set.
+// Unknown answers keep the state alive (conservative). Duplicate negations
+// (paths that admit identical message sets) collapse to one conjunct, which
+// keeps the DPLL split count proportional to the number of *distinct*
+// client predicates rather than the raw path count.
+func (a *analysis) trojanPossible(serverPath []*expr.Expr, live []int) bool {
+	q := make([]*expr.Expr, 0, len(serverPath)+len(live))
+	q = append(q, serverPath...)
+	seen := map[uint64][]*expr.Expr{}
+	for _, i := range live {
+		neg := a.pc.Paths[i].Negation()
+		if neg.IsFalse() {
+			// Negation fully abandoned: this client path can generate any
+			// message on this server path; no Trojan is provable here.
+			return false
+		}
+		if dupSeen(seen, neg) {
+			continue
+		}
+		q = append(q, neg)
+	}
+	res, _ := a.sol.Check(q)
+	return res != solver.Unsat
+}
+
+// dupSeen records neg in the hash-bucketed set, reporting prior presence.
+func dupSeen(seen map[uint64][]*expr.Expr, neg *expr.Expr) bool {
+	for _, e := range seen[neg.Hash()] {
+		if expr.Equal(e, neg) {
+			return true
+		}
+	}
+	seen[neg.Hash()] = append(seen[neg.Hash()], neg)
+	return false
+}
+
+// onAccept emits a Trojan report for an accepting state.
+func (a *analysis) onAccept(st *symexec.State) {
+	a.res.AcceptingStates++
+	d := a.ensureData(st)
+	a.reportIfTrojan(st, d.live)
+}
+
+// reportIfTrojan solves the final Trojan query for an accepting state and,
+// when satisfiable, records a report with a verified concrete example.
+func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
+	q := make([]*expr.Expr, 0, len(st.Path)+len(live))
+	q = append(q, st.Path...)
+	witness := expr.AndAll(st.Path)
+	seen := map[uint64][]*expr.Expr{}
+	for _, i := range live {
+		neg := a.pc.Paths[i].Negation()
+		if neg.IsFalse() {
+			a.res.FilteredReports++
+			return
+		}
+		if dupSeen(seen, neg) {
+			continue
+		}
+		q = append(q, neg)
+		witness = expr.And(witness, neg)
+	}
+	res, model := a.sol.Check(q)
+	if res != solver.Sat {
+		a.res.FilteredReports++
+		return
+	}
+	concrete := a.concreteMessage(model)
+	stateEnv := a.stateWorld(model)
+	rep := TrojanReport{
+		Index:         len(a.res.Trojans),
+		ServerStateID: st.ID,
+		PathLen:       len(st.Path),
+		ServerPath:    append([]*expr.Expr{}, st.Path...),
+		Witness:       witness,
+		Concrete:      concrete,
+		StateEnv:      stateEnv,
+		LiveClients:   append([]int{}, live...),
+		Elapsed:       time.Since(a.start),
+	}
+	rep.VerifiedNotClient = a.verifyNotClient(concrete, stateEnv)
+	if !a.opts.SkipConcreteVerification {
+		rep.VerifiedAccept = a.verifyAccept(concrete, stateEnv)
+	}
+	if !rep.VerifiedNotClient {
+		// The example is generatable by some client path: a false positive
+		// (§4.1); drop it rather than report.
+		a.res.FilteredReports++
+		return
+	}
+	a.res.Trojans = append(a.res.Trojans, rep)
+	a.res.Timeline = append(a.res.Timeline, TimelinePoint{
+		Elapsed: rep.Elapsed,
+		Found:   len(a.res.Trojans),
+	})
+}
+
+// concreteMessage materialises the message fields from a model (absent
+// fields default to zero).
+func (a *analysis) concreteMessage(model expr.Env) []int64 {
+	msg := make([]int64, a.pc.NumFields)
+	for f := 0; f < a.pc.NumFields; f++ {
+		if v, ok := model[a.pc.MsgVarName(f)]; ok {
+			msg[f] = v
+		}
+	}
+	return msg
+}
+
+// stateWorld extracts the concrete values of shared symbolic local state
+// (variables the engine named "state_*") from a model.
+func (a *analysis) stateWorld(model expr.Env) expr.Env {
+	env := expr.Env{}
+	for _, g := range a.opts.Exec.GlobalSymbolic {
+		name := "state_" + g
+		env[name] = model[name] // zero when unconstrained
+	}
+	return env
+}
+
+// verifyNotClient checks that no client path predicate admits the concrete
+// message within the concrete state world.
+func (a *analysis) verifyNotClient(msg []int64, stateEnv expr.Env) bool {
+	var eqs []*expr.Expr
+	for f := range msg {
+		eqs = append(eqs, expr.Eq(a.pc.msgVar(f), expr.Const(msg[f])))
+	}
+	for name, v := range stateEnv {
+		eqs = append(eqs, expr.Eq(expr.Var(name), expr.Const(v)))
+	}
+	for _, cp := range a.pc.Paths {
+		q := make([]*expr.Expr, 0, len(cp.bind)+len(eqs))
+		q = append(q, cp.bind...)
+		q = append(q, eqs...)
+		if res, _ := a.sol.Check(q); res == solver.Sat {
+			return false
+		}
+	}
+	return true
+}
+
+// verifyAccept replays the concrete message against the server model, with
+// symbolic local state pinned to the discovered world.
+func (a *analysis) verifyAccept(msg []int64, stateEnv expr.Env) bool {
+	gc := map[string]int64{}
+	for k, v := range a.opts.Exec.GlobalConcrete {
+		gc[k] = v
+	}
+	for _, g := range a.opts.Exec.GlobalSymbolic {
+		gc[g] = stateEnv["state_"+g]
+	}
+	opts := symexec.Options{
+		Entry:          a.opts.Exec.Entry,
+		Concrete:       true,
+		Message:        msg,
+		Inputs:         a.opts.Exec.Inputs,
+		GlobalConcrete: gc,
+	}
+	res, err := symexec.Run(a.server, opts)
+	if err != nil || len(res.States) == 0 {
+		return false
+	}
+	return res.States[0].Status == symexec.StatusAccepted
+}
+
+// String renders a short human-readable summary of a report.
+func (r TrojanReport) String() string {
+	return fmt.Sprintf("trojan #%d: state %d, path len %d, example %v (accept=%v, non-client=%v)",
+		r.Index, r.ServerStateID, r.PathLen, r.Concrete, r.VerifiedAccept, r.VerifiedNotClient)
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/lang"
+)
+
+// TestFigure9StyleOverApproximation mirrors the paper's Figure 9: a
+// function (getPeerID) whose real implementation is bypassed with an
+// annotation returning a symbolic value constrained to [0, 10]. In NL the
+// annotation is written with symbolic() + assume, which play the roles of
+// return_symbolic and drop_path.
+func TestFigure9StyleOverApproximation(t *testing.T) {
+	client := lang.MustCompile(`
+var msg [2]int;
+
+func getPeerID() int {
+	// function_start/return_symbolic/drop_path annotation block:
+	var toRet int = symbolic();
+	assume(toRet >= 0);
+	assume(toRet <= 10);
+	return toRet;
+	// (actual code of getPeerID would follow and is never reached)
+}
+
+func main() {
+	var id int = getPeerID();
+	msg[0] = id;
+	msg[1] = 7;
+	send(msg);
+	exit();
+}`)
+	server := lang.MustCompile(`
+var msg [2]int;
+func main() {
+	recv(msg);
+	// The server accepts a wider peer range than the annotation allows.
+	if msg[0] < 0 { reject(); }
+	if msg[0] > 50 { reject(); }
+	if msg[1] != 7 { reject(); }
+	accept();
+}`)
+	run, err := core.Run(core.Target{
+		Name:    "figure9",
+		Server:  server,
+		Clients: []core.ClientProgram{{Name: "annotated", Unit: client}},
+	}, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) != 1 {
+		t.Fatalf("trojans = %d, want 1 (peer ids 11..50)", len(run.Analysis.Trojans))
+	}
+	tr := run.Analysis.Trojans[0]
+	if tr.Concrete[0] <= 10 || tr.Concrete[0] > 50 {
+		t.Fatalf("example peer id %d outside the Trojan band (10, 50]", tr.Concrete[0])
+	}
+	if !tr.VerifiedAccept || !tr.VerifiedNotClient {
+		t.Fatalf("verification: %+v", tr)
+	}
+}

@@ -1,0 +1,399 @@
+package core_test
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/expr"
+	"achilles/internal/lang"
+	"achilles/internal/protocols/kv"
+	"achilles/internal/solver"
+	"achilles/internal/symexec"
+)
+
+func extractKV(t *testing.T) *core.ClientPredicate {
+	t.Helper()
+	tgt := kv.NewTarget()
+	pc, err := core.ExtractClientPredicate(tgt.Clients, core.ExtractOptions{
+		FieldNames: tgt.FieldNames,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pc
+}
+
+func TestExtractKVClientPredicate(t *testing.T) {
+	pc := extractKV(t)
+	if len(pc.Paths) != 2 {
+		t.Fatalf("client paths = %d, want 2 (READ and WRITE)", len(pc.Paths))
+	}
+	if pc.NumFields != kv.NumFields {
+		t.Fatalf("fields = %d", pc.NumFields)
+	}
+	// Identify the READ path: request field is the constant 1.
+	var read, write *core.ClientPath
+	for _, p := range pc.Paths {
+		if p.Fields[kv.FieldRequest].IsConst() && p.Fields[kv.FieldRequest].Val == kv.OpRead {
+			read = p
+		} else {
+			write = p
+		}
+	}
+	if read == nil || write == nil {
+		t.Fatal("missing READ/WRITE client paths")
+	}
+	// The READ path zeroes the value field; the WRITE path sends symbolic
+	// data there.
+	if !read.Fields[kv.FieldValue].IsConst() || read.Fields[kv.FieldValue].Val != 0 {
+		t.Errorf("READ value field = %s", read.Fields[kv.FieldValue])
+	}
+	if write.Fields[kv.FieldValue].IsConst() {
+		t.Errorf("WRITE value field should be symbolic")
+	}
+	// Negations exist and exclude client-generatable messages: for each
+	// path, bind ∧ negation must be unsat (the §4.1 invariant).
+	s := solver.Default()
+	for _, p := range pc.Paths {
+		neg := p.Negation()
+		if neg.IsFalse() {
+			t.Fatalf("path %d: negation fully abandoned", p.ID)
+		}
+		q := append(append([]*expr.Expr{}, p.Bind()...), neg)
+		if res, _ := s.Check(q); res != solver.Unsat {
+			t.Errorf("path %d: negation overlaps its own predicate (%v)", p.ID, res)
+		}
+	}
+}
+
+func TestDifferentFromMatrixKV(t *testing.T) {
+	pc := extractKV(t)
+	var read, write int
+	for i, p := range pc.Paths {
+		if p.Fields[kv.FieldRequest].IsConst() && p.Fields[kv.FieldRequest].Val == kv.OpRead {
+			read = i
+		} else {
+			write = i
+		}
+	}
+	// The paper's example (§3.3): differentFrom[READ][WRITE][request] is
+	// TRUE (READ's request value 1 is not WRITE's 2)...
+	if got := pc.DifferentFrom(read, write, kv.FieldRequest); got != core.TriYes {
+		t.Errorf("differentFrom[read][write][request] = %v, want Yes", got)
+	}
+	// ...while the address field admits the same values on both paths. In
+	// this model the address feeds the CRC, so the field is not "simple"
+	// and the matrix must stay Unknown (never a wrong No/Yes).
+	if got := pc.DifferentFrom(read, write, kv.FieldAddress); got == core.TriYes {
+		t.Errorf("differentFrom[read][write][address] = Yes, but value sets are equal")
+	}
+	// Reflexive entries are No by definition.
+	if got := pc.DifferentFrom(read, read, kv.FieldRequest); got != core.TriNo {
+		t.Errorf("differentFrom[i][i][f] = %v, want No", got)
+	}
+}
+
+func TestAnalyzeKVFindsNegativeAddressTrojan(t *testing.T) {
+	tgt := kv.NewTarget()
+	run, err := core.Run(tgt, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Analysis
+	if len(res.Trojans) == 0 {
+		t.Fatal("no Trojans found in the vulnerable KV server")
+	}
+	// The Trojan class must admit a negative address (the paper's bug).
+	s := solver.Default()
+	foundNegative := false
+	for _, tr := range res.Trojans {
+		if !tr.VerifiedAccept {
+			t.Errorf("trojan %d: concrete example not accepted by the server", tr.Index)
+		}
+		if !tr.VerifiedNotClient {
+			t.Errorf("trojan %d: concrete example generatable by a client", tr.Index)
+		}
+		q := []*expr.Expr{tr.Witness, expr.Lt(expr.Var("m2"), expr.Const(0))}
+		if r, _ := s.Check(q); r == solver.Sat {
+			foundNegative = true
+		}
+	}
+	if !foundNegative {
+		t.Error("no Trojan class admits a negative READ address")
+	}
+	// The WRITE accepting path must not be reported: its only
+	// non-overlapping negation disjuncts are all excluded by the server
+	// checks.
+	for _, tr := range res.Trojans {
+		isWrite := expr.Eq(expr.Var("m1"), expr.Const(kv.OpWrite))
+		onlyWrite := append([]*expr.Expr{}, tr.ServerPath...)
+		onlyWrite = append(onlyWrite, expr.Not(isWrite))
+		if r, _ := s.Check(onlyWrite); r == solver.Unsat {
+			t.Errorf("trojan %d reported on the WRITE-only path", tr.Index)
+		}
+	}
+	// Timeline grows monotonically.
+	for i := 1; i < len(res.Timeline); i++ {
+		if res.Timeline[i].Found != res.Timeline[i-1].Found+1 {
+			t.Errorf("timeline not incremental: %+v", res.Timeline)
+		}
+	}
+}
+
+func TestAnalyzeFixedKVFindsNothing(t *testing.T) {
+	tgt := kv.NewFixedTarget()
+	run, err := core.Run(tgt, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(run.Analysis.Trojans); n != 0 {
+		t.Fatalf("patched server reported %d Trojans: %+v", n, run.Analysis.Trojans)
+	}
+}
+
+func TestModesAgreeOnKV(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeOptimized, core.ModeNoDifferentFrom, core.ModeAPosteriori} {
+		t.Run(mode.String(), func(t *testing.T) {
+			run, err := core.Run(kv.NewTarget(), core.AnalysisOptions{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(run.Analysis.Trojans) == 0 {
+				t.Fatalf("mode %v found no Trojans", mode)
+			}
+			runF, err := core.Run(kv.NewFixedTarget(), core.AnalysisOptions{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(runF.Analysis.Trojans) != 0 {
+				t.Fatalf("mode %v reported Trojans on the fixed server", mode)
+			}
+		})
+	}
+}
+
+func TestMaskHidesField(t *testing.T) {
+	// Masking the address field must suppress the negative-address Trojan
+	// report (value and crc are the remaining candidates; value's negation
+	// on READ is m3 != 0, which the server does not constrain, so Trojans
+	// can still exist — mask value too to get a clean suppression).
+	tgt := kv.NewTarget()
+	tgt.Mask = []int{kv.FieldAddress, kv.FieldValue}
+	run, err := core.Run(tgt, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solver.Default()
+	for _, tr := range run.Analysis.Trojans {
+		// No remaining class may force a negative address.
+		q := []*expr.Expr{tr.Witness, expr.Ge(expr.Var("m2"), expr.Const(0))}
+		if r, _ := s.Check(q); r != solver.Sat {
+			t.Errorf("masked analysis still reports an address-based Trojan")
+		}
+	}
+}
+
+func TestPruningReducesWork(t *testing.T) {
+	optRun, err := core.Run(kv.NewFixedTarget(), core.AnalysisOptions{Mode: core.ModeOptimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On the fixed server every state should eventually be pruned (no
+	// Trojans anywhere), so accepting states are never even reached.
+	if optRun.Analysis.AcceptingStates != 0 {
+		t.Errorf("optimized mode reached %d accepting states on the fixed server, want 0 (pruned earlier)",
+			optRun.Analysis.AcceptingStates)
+	}
+	if optRun.Analysis.PrunedStates == 0 {
+		t.Errorf("optimized mode pruned no states")
+	}
+}
+
+func TestLiveTraceDecreases(t *testing.T) {
+	run, err := core.Run(kv.NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := run.Analysis.LiveTrace
+	if len(trace) == 0 {
+		t.Fatal("no live trace recorded")
+	}
+	// Longer paths can never have more live client predicates than the
+	// total, and the per-path live count is bounded by the client count.
+	for _, p := range trace {
+		if p.Live < 0 || p.Live > len(run.Clients.Paths) {
+			t.Fatalf("bad live point %+v", p)
+		}
+	}
+}
+
+func TestPhaseTimingSplit(t *testing.T) {
+	run, err := core.Run(kv.NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ClientExtractTime <= 0 || run.PreprocessTime <= 0 || run.ServerTime <= 0 {
+		t.Fatalf("phase timings not recorded: %+v", run)
+	}
+	if run.Total() < run.ServerTime {
+		t.Fatal("total must include all phases")
+	}
+}
+
+func TestNoClientMessagesError(t *testing.T) {
+	u := lang.MustCompile(`func main() { exit(); }`)
+	_, err := core.ExtractClientPredicate(
+		[]core.ClientProgram{{Name: "silent", Unit: u}}, core.ExtractOptions{})
+	if err == nil {
+		t.Fatal("expected error for a client that sends nothing")
+	}
+}
+
+func TestMismatchedFieldCounts(t *testing.T) {
+	a := lang.MustCompile(`var m [2]int; func main() { send(m); }`)
+	b := lang.MustCompile(`var m [3]int; func main() { send(m); }`)
+	_, err := core.ExtractClientPredicate([]core.ClientProgram{
+		{Name: "a", Unit: a}, {Name: "b", Unit: b},
+	}, core.ExtractOptions{})
+	if err == nil {
+		t.Fatal("expected error for mismatched field counts")
+	}
+}
+
+func TestDeduplication(t *testing.T) {
+	// Two clients that send the identical constant message produce one path.
+	src := `var m [2]int; func main() { m[0] = 1; m[1] = 2; send(m); }`
+	pc, err := core.ExtractClientPredicate([]core.ClientProgram{
+		{Name: "a", Unit: lang.MustCompile(src)},
+		{Name: "b", Unit: lang.MustCompile(src)},
+	}, core.ExtractOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Paths) != 1 {
+		t.Fatalf("paths = %d, want 1 after dedup", len(pc.Paths))
+	}
+	if pc.PreprocessStats.DedupedPaths != 1 {
+		t.Fatalf("deduped = %d", pc.PreprocessStats.DedupedPaths)
+	}
+}
+
+func TestFullyAbandonedNegationMeansNoTrojans(t *testing.T) {
+	// A client that can send literally anything: no Trojans can exist.
+	client := lang.MustCompile(`
+var m [1]int;
+func main() {
+	m[0] = input();
+	send(m);
+}`)
+	server := lang.MustCompile(`
+var m [1]int;
+func main() {
+	recv(m);
+	accept();
+}`)
+	run, err := core.Run(core.Target{
+		Name:    "free",
+		Server:  server,
+		Clients: []core.ClientProgram{{Name: "free", Unit: client}},
+	}, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) != 0 {
+		t.Fatalf("unconstrained client cannot leave room for Trojans, got %d", len(run.Analysis.Trojans))
+	}
+}
+
+func TestWholePathTrojanWhenNoClientMatches(t *testing.T) {
+	// The server accepts a message type no client ever sends: the whole
+	// accepting path is Trojan (live set empty).
+	client := lang.MustCompile(`
+var m [2]int;
+func main() {
+	var x int = input();
+	assume(x >= 0);
+	assume(x < 10);
+	m[0] = 1;
+	m[1] = x;
+	send(m);
+}`)
+	server := lang.MustCompile(`
+var m [2]int;
+func main() {
+	recv(m);
+	if m[0] == 1 {
+		if m[1] < 0 { reject(); }
+		if m[1] >= 10 { reject(); }
+		accept();
+	}
+	if m[0] == 2 {
+		// No client sends type 2: everything here is Trojan.
+		accept();
+	}
+	reject();
+}`)
+	run, err := core.Run(core.Target{
+		Name:    "ghost-type",
+		Server:  server,
+		Clients: []core.ClientProgram{{Name: "c", Unit: client}},
+	}, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) != 1 {
+		t.Fatalf("trojans = %d, want exactly 1 (the type-2 path)", len(run.Analysis.Trojans))
+	}
+	tr := run.Analysis.Trojans[0]
+	if tr.Concrete[0] != 2 {
+		t.Fatalf("trojan example %v should have type 2", tr.Concrete)
+	}
+	if len(tr.LiveClients) != 0 {
+		t.Fatalf("live clients on the ghost path: %v", tr.LiveClients)
+	}
+	if !tr.VerifiedAccept || !tr.VerifiedNotClient {
+		t.Fatalf("verification flags: %+v", tr)
+	}
+}
+
+func TestConcreteLocalStateMode(t *testing.T) {
+	// §3.4: a Paxos-like acceptor in phase 2 with proposed value 7 must
+	// treat any Accept message with value != 7 as Trojan. Concrete local
+	// state is injected through GlobalConcrete.
+	client := lang.MustCompile(`
+var m [2]int;
+var proposed int;
+func main() {
+	// The correct proposer sends Accept(value=proposed).
+	m[0] = 2;
+	m[1] = proposed;
+	send(m);
+}`)
+	server := lang.MustCompile(`
+var m [2]int;
+var proposed int;
+func main() {
+	recv(m);
+	if m[0] != 2 { reject(); }
+	// Vulnerability: accepts any value, not just the proposed one.
+	accept();
+}`)
+	tgt := core.Target{
+		Name:       "paxos-phase2",
+		Server:     server,
+		Clients:    []core.ClientProgram{{Name: "proposer", Unit: client}},
+		ServerExec: symexec.Options{GlobalConcrete: map[string]int64{"proposed": 7}},
+		ClientExec: symexec.Options{GlobalConcrete: map[string]int64{"proposed": 7}},
+	}
+	run, err := core.Run(tgt, core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) != 1 {
+		t.Fatalf("trojans = %d, want 1", len(run.Analysis.Trojans))
+	}
+	tr := run.Analysis.Trojans[0]
+	if tr.Concrete[1] == 7 {
+		t.Fatalf("trojan example %v must differ from the proposed value", tr.Concrete)
+	}
+}

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"achilles/internal/core"
+	"achilles/internal/expr"
+	"achilles/internal/lang"
+	"achilles/internal/solver"
+)
+
+// The central soundness invariant of the negate operator (§3.2/§4.1): for
+// every client path predicate, bind(pathC) ∧ negate(pathC) is unsatisfiable
+// — no message a client path can generate ever satisfies its own negation.
+// The property test generates random small client programs (random field
+// shapes: constants, bounded inputs, free inputs, sums with checksums) and
+// checks the invariant on every extracted path.
+
+// genClientSrc builds a random NL client over nFields message fields.
+func genClientSrc(rnd *rand.Rand, nFields int) string {
+	src := fmt.Sprintf("var msg [%d]int;\nfunc main() {\n", nFields)
+	var sumTerms []string
+	for f := 0; f < nFields-1; f++ {
+		switch rnd.Intn(4) {
+		case 0: // constant field
+			src += fmt.Sprintf("\tmsg[%d] = %d;\n", f, rnd.Intn(9)-4)
+		case 1: // bounded symbolic input
+			lo := rnd.Intn(10) - 5
+			hi := lo + 1 + rnd.Intn(10)
+			src += fmt.Sprintf("\tvar v%d int = input();\n", f)
+			src += fmt.Sprintf("\tassume(v%d >= %d);\n\tassume(v%d <= %d);\n", f, lo, f, hi)
+			src += fmt.Sprintf("\tmsg[%d] = v%d;\n", f, f)
+			sumTerms = append(sumTerms, fmt.Sprintf("v%d", f))
+		case 2: // free symbolic input
+			src += fmt.Sprintf("\tmsg[%d] = input();\n", f)
+		default: // branching on an input (two client paths)
+			src += fmt.Sprintf("\tvar w%d int = input();\n", f)
+			src += fmt.Sprintf("\tif w%d > 0 { msg[%d] = 1; } else { msg[%d] = 2; }\n", f, f, f)
+		}
+	}
+	// Last field: a checksum-like expression over the bounded inputs.
+	sum := "0"
+	for _, t := range sumTerms {
+		sum += " + " + t
+	}
+	src += fmt.Sprintf("\tmsg[%d] = %s;\n", nFields-1, sum)
+	src += "\tsend(msg);\n\texit();\n}\n"
+	return src
+}
+
+func TestQuickNegateNeverOverlapsOwnPredicate(t *testing.T) {
+	s := solver.Default()
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		nFields := 3 + rnd.Intn(3)
+		src := genClientSrc(rnd, nFields)
+		unit, err := lang.Compile(src)
+		if err != nil {
+			t.Logf("generated program does not compile: %v\n%s", err, src)
+			return false
+		}
+		pc, err := core.ExtractClientPredicate(
+			[]core.ClientProgram{{Name: "gen", Unit: unit}}, core.ExtractOptions{})
+		if err != nil {
+			t.Logf("extraction failed: %v\n%s", err, src)
+			return false
+		}
+		for _, p := range pc.Paths {
+			neg := p.Negation()
+			if neg.IsFalse() {
+				continue // fully abandoned: trivially non-overlapping
+			}
+			q := append(append([]*expr.Expr{}, p.Bind()...), neg)
+			if res, _ := s.Check(q); res == solver.Sat {
+				t.Logf("negation overlaps its own predicate on path %d\nsource:\n%s", p.ID, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegationExcludesGeneratedMessages: concretely generated client
+// messages never satisfy the negation — the reverse direction, checked by
+// evaluation rather than the solver.
+func TestQuickNegationExcludesGeneratedMessages(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		src := genClientSrc(rnd, 4)
+		unit, err := lang.Compile(src)
+		if err != nil {
+			return false
+		}
+		pc, err := core.ExtractClientPredicate(
+			[]core.ClientProgram{{Name: "gen", Unit: unit}}, core.ExtractOptions{})
+		if err != nil {
+			return false
+		}
+		s := solver.Default()
+		for _, p := range pc.Paths {
+			neg := p.Negation()
+			if neg.IsFalse() {
+				continue
+			}
+			// Concretise one message from the path via its bind.
+			res, model := s.Check(p.Bind())
+			if res != solver.Sat {
+				t.Logf("client path %d has no model", p.ID)
+				return false
+			}
+			// Evaluate the negation on the message variables only.
+			env := expr.Env{}
+			for f := 0; f < pc.NumFields; f++ {
+				env[pc.MsgVarName(f)] = model[pc.MsgVarName(f)]
+			}
+			// Fresh negation variables get their model values too (they
+			// are existential witnesses).
+			for _, v := range expr.Vars(neg) {
+				if _, ok := env[v]; !ok {
+					env[v] = model[v]
+				}
+			}
+			sat, err := expr.EvalBool(neg, env)
+			if err == nil && sat {
+				t.Logf("generated message satisfies its own negation on path %d\n%s", p.ID, src)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

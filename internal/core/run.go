@@ -1,0 +1,80 @@
+package core
+
+import (
+	"time"
+
+	"achilles/internal/lang"
+	"achilles/internal/solver"
+	"achilles/internal/symexec"
+)
+
+// Target bundles everything Achilles needs to analyse one system: the
+// server model, the client models, and the message layout.
+type Target struct {
+	Name       string
+	Server     *lang.Unit
+	Clients    []ClientProgram
+	FieldNames []string
+	// Mask lists message field indices hidden from the analysis (§5.2).
+	Mask []int
+	// SharedState lists extra variable names shared between the client and
+	// server runs (§3.4); "state_*" variables are always shared.
+	SharedState []string
+	// ServerExec / ClientExec configure the respective engine runs
+	// (local-state modes, budgets...).
+	ServerExec symexec.Options
+	ClientExec symexec.Options
+}
+
+// RunResult is the outcome of a full two-phase Achilles run, with the phase
+// timing split reported in §6.2 of the paper.
+type RunResult struct {
+	Clients  *ClientPredicate
+	Analysis *Result
+
+	ClientExtractTime time.Duration // phase 1: gathering PC
+	PreprocessTime    time.Duration // predicate preprocessing (§3.3)
+	ServerTime        time.Duration // phase 2: server analysis + Trojan search
+}
+
+// Total returns the end-to-end duration.
+func (r *RunResult) Total() time.Duration {
+	return r.ClientExtractTime + r.PreprocessTime + r.ServerTime
+}
+
+// Run executes both Achilles phases on a target.
+func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
+	if opts.Solver == nil {
+		opts.Solver = solver.Default()
+	}
+	out := &RunResult{}
+
+	t0 := time.Now()
+	pc, err := ExtractClientPredicate(t.Clients, ExtractOptions{
+		Exec:           t.ClientExec,
+		FieldNames:     t.FieldNames,
+		Mask:           t.Mask,
+		SharedState:    t.SharedState,
+		Solver:         opts.Solver,
+		SkipPreprocess: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.ClientExtractTime = time.Since(t0)
+
+	t1 := time.Now()
+	pc.Preprocess(opts.Solver)
+	out.PreprocessTime = time.Since(t1)
+	out.Clients = pc
+
+	t2 := time.Now()
+	opts.Exec = t.ServerExec
+	res, err := AnalyzeServer(t.Server, pc, opts)
+	if err != nil {
+		return nil, err
+	}
+	out.ServerTime = time.Since(t2)
+	out.Analysis = res
+	return out, nil
+}

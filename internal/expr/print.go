@@ -1,0 +1,74 @@
+package expr
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Operator precedence levels for the printer, loosely following Go: higher
+// binds tighter.
+func precedence(k Kind) int {
+	switch k {
+	case KOr:
+		return 1
+	case KAnd:
+		return 2
+	case KEq, KNe, KLt, KLe, KGt, KGe:
+		return 3
+	case KAdd, KSub:
+		return 4
+	case KMul, KDiv, KMod:
+		return 5
+	case KNeg, KNot:
+		return 6
+	}
+	return 7
+}
+
+// String renders e with minimal parentheses.
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.write(&b, 0)
+	return b.String()
+}
+
+func (e *Expr) write(b *strings.Builder, parent int) {
+	switch e.Kind {
+	case KConst:
+		b.WriteString(strconv.FormatInt(e.Val, 10))
+		return
+	case KBool:
+		if e.Val != 0 {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+		return
+	case KVar:
+		b.WriteString(e.Name)
+		return
+	case KNeg:
+		b.WriteString("-")
+		e.Args[0].write(b, precedence(KNeg))
+		return
+	case KNot:
+		b.WriteString("!")
+		e.Args[0].write(b, precedence(KNot))
+		return
+	}
+	p := precedence(e.Kind)
+	needParens := p < parent
+	if needParens {
+		b.WriteByte('(')
+	}
+	e.Args[0].write(b, p)
+	b.WriteByte(' ')
+	b.WriteString(e.Kind.String())
+	b.WriteByte(' ')
+	// Right operand uses p+1 so non-associative chains parenthesise:
+	// a - (b - c) keeps its parentheses.
+	e.Args[1].write(b, p+1)
+	if needParens {
+		b.WriteByte(')')
+	}
+}

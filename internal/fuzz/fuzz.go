@@ -1,0 +1,97 @@
+// Package fuzz implements the black-box fuzzing baseline of §6.2.
+//
+// The fuzzer feeds random messages to the concrete interpretation of the
+// server model — the same semantics the symbolic analysis explored — and
+// counts how many are accepted and, with a ground-truth oracle, how many
+// are Trojan. As in the paper, only the fields Achilles analyses are
+// fuzzed; the annotated checksum fields are held at their expected
+// constants (fuzzing them too only makes the baseline astronomically
+// worse).
+package fuzz
+
+import (
+	"math/rand"
+	"time"
+
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+)
+
+// Generator produces one random message.
+type Generator func(r *rand.Rand) []int64
+
+// Oracle labels a message (ground truth for TP/FP accounting).
+type Oracle func(msg []int64) bool
+
+// Options configure a campaign.
+type Options struct {
+	// Tests is the number of messages to try.
+	Tests int
+	// Seed makes the campaign reproducible.
+	Seed int64
+	// Entry overrides the server entry point.
+	Entry string
+	// Inputs feeds any symbolic() local state in the server concretely.
+	Inputs []int64
+	// GlobalConcrete pins server globals.
+	GlobalConcrete map[string]int64
+}
+
+// Result summarises a campaign.
+type Result struct {
+	Tests       int
+	Accepted    int           // messages the server accepted
+	Trojans     int           // accepted messages that are Trojan (oracle)
+	Distinct    int           // distinct Trojan classes hit (if ClassKey set)
+	Elapsed     time.Duration // wall time for the campaign
+	TestsPerMin float64
+}
+
+// Campaign runs random messages against the concrete server model.
+// classKey optionally maps a Trojan message to a coverage class; pass nil
+// to skip class accounting.
+func Campaign(server *lang.Unit, gen Generator, isTrojan Oracle,
+	classKey func(msg []int64) string, opts Options) (*Result, error) {
+
+	rnd := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{}
+	classes := map[string]bool{}
+	start := time.Now()
+	for i := 0; i < opts.Tests; i++ {
+		msg := gen(rnd)
+		run, err := symexec.Run(server, symexec.Options{
+			Entry:          opts.Entry,
+			Concrete:       true,
+			Message:        msg,
+			Inputs:         opts.Inputs,
+			GlobalConcrete: opts.GlobalConcrete,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Tests++
+		if run.States[0].Status != symexec.StatusAccepted {
+			continue
+		}
+		res.Accepted++
+		if isTrojan != nil && isTrojan(msg) {
+			res.Trojans++
+			if classKey != nil {
+				classes[classKey(msg)] = true
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Distinct = len(classes)
+	if res.Elapsed > 0 {
+		res.TestsPerMin = float64(res.Tests) / res.Elapsed.Minutes()
+	}
+	return res, nil
+}
+
+// ExpectedTrojansPerHour is the paper's analytic comparison (§6.2): given a
+// measured throughput, the density of Trojan messages in the fuzzed space
+// determines the expected number of Trojan discoveries per hour.
+func ExpectedTrojansPerHour(testsPerMin float64, trojanDensity float64) float64 {
+	return testsPerMin * 60 * trojanDensity
+}

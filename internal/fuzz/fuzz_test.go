@@ -1,0 +1,71 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+
+	"achilles/internal/lang"
+)
+
+const tinyServer = `
+var msg [2]int;
+func main() {
+	recv(msg);
+	if msg[0] != 1 { reject(); }
+	if msg[1] < 0 { reject(); }
+	if msg[1] > 9 { reject(); }
+	accept();
+}`
+
+func TestCampaignCounts(t *testing.T) {
+	unit := lang.MustCompile(tinyServer)
+	gen := func(r *rand.Rand) []int64 {
+		return []int64{int64(r.Intn(3)), int64(r.Intn(20) - 5)}
+	}
+	// Oracle: accepted messages with msg[1] == 7 are "Trojan" for the test.
+	res, err := Campaign(unit, gen,
+		func(m []int64) bool { return m[0] == 1 && m[1] == 7 },
+		func(m []int64) string { return "c7" },
+		Options{Tests: 2000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tests != 2000 {
+		t.Fatalf("tests = %d", res.Tests)
+	}
+	if res.Accepted == 0 || res.Accepted == res.Tests {
+		t.Fatalf("accepted = %d, expected a strict subset", res.Accepted)
+	}
+	if res.Trojans == 0 || res.Distinct != 1 {
+		t.Fatalf("trojans = %d distinct = %d", res.Trojans, res.Distinct)
+	}
+	if res.TestsPerMin <= 0 {
+		t.Fatalf("throughput not measured")
+	}
+}
+
+func TestCampaignDeterministicBySeed(t *testing.T) {
+	unit := lang.MustCompile(tinyServer)
+	gen := func(r *rand.Rand) []int64 {
+		return []int64{int64(r.Intn(3)), int64(r.Intn(20) - 5)}
+	}
+	run := func() int {
+		res, err := Campaign(unit, gen, nil, nil, Options{Tests: 500, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Accepted
+	}
+	if run() != run() {
+		t.Fatal("same seed must accept the same count")
+	}
+}
+
+func TestExpectedTrojansPerHour(t *testing.T) {
+	// 75,000 tests/min at density 66e6/1.8e19 — the paper's §6.2 numbers —
+	// gives ~1.65e-5 expected Trojans per hour... the paper rounds to 1e-5.
+	got := ExpectedTrojansPerHour(75000, 66e6/1.8e19)
+	if got < 1e-6 || got > 1e-4 {
+		t.Fatalf("expected/hour = %g, outside the paper's magnitude", got)
+	}
+}

@@ -1,0 +1,106 @@
+// Package inject replays the concrete Trojan examples produced by Achilles
+// against live concrete servers — the paper's fire-drill scenario (§1,
+// §4.1): concretised Trojan messages are injected into a real deployment to
+// observe their effect and weed out harmless ones.
+package inject
+
+import (
+	"fmt"
+	"strings"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/fsp"
+)
+
+// Outcome records the effect of injecting one Trojan message.
+type Outcome struct {
+	Trojan   core.TrojanReport
+	Accepted bool   // the live server accepted the packet
+	Effect   string // human-readable observed effect
+}
+
+// FSPFireDrill runs the glob-aware FSP analysis, encodes every discovered
+// Trojan example into a real FSP packet (restoring the checksum the
+// analysis masked), fires it at the provided packet transport, and reports
+// what the server did.
+//
+// send is typically fsp.DirectClient(server).Send or a UDP client's Send.
+func FSPFireDrill(send func(pkt []byte) ([]byte, error)) ([]Outcome, error) {
+	run, err := core.Run(fsp.NewTarget(true), core.AnalysisOptions{})
+	if err != nil {
+		return nil, err
+	}
+	var out []Outcome
+	for _, tr := range run.Analysis.Trojans {
+		pkt, err := fsp.EncodeFields(tr.Concrete)
+		if err != nil {
+			return nil, fmt.Errorf("inject: trojan %d: %w", tr.Index, err)
+		}
+		o := Outcome{Trojan: tr}
+		reply, err := send(pkt)
+		switch {
+		case err == nil:
+			o.Accepted = true
+			o.Effect = describeFSPEffect(tr.Concrete, reply)
+		case strings.Contains(err.Error(), "not found"), strings.Contains(err.Error(), "already exists"):
+			// The message passed all validation and the server attempted
+			// the action — the accept marker in the model — but the action
+			// itself failed on the current filesystem state.
+			o.Accepted = true
+			o.Effect = "accepted; action failed on current FS state (" + err.Error() + ")"
+		default:
+			o.Effect = "rejected: " + err.Error()
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// describeFSPEffect classifies what the server just did with a Trojan.
+func describeFSPEffect(msg []int64, reply []byte) string {
+	_, reported, actual, _ := fsp.ClassOf(msg)
+	var parts []string
+	if actual < reported {
+		parts = append(parts, fmt.Sprintf("smuggled %d byte(s) past the parser", reported-actual-1))
+	}
+	for i := int64(0); i < actual; i++ {
+		if msg[fsp.FieldBuf+i] == fsp.Wildcard {
+			parts = append(parts, "literal '*' reached the filesystem layer")
+			break
+		}
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "accepted")
+	}
+	if len(reply) > 0 {
+		parts = append(parts, fmt.Sprintf("server replied %q", truncate(string(reply), 32)))
+	}
+	return strings.Join(parts, "; ")
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Summary aggregates outcomes.
+type Summary struct {
+	Total    int
+	Accepted int
+	Rejected int
+}
+
+// Summarize counts outcomes.
+func Summarize(outcomes []Outcome) Summary {
+	s := Summary{Total: len(outcomes)}
+	for _, o := range outcomes {
+		if o.Accepted {
+			s.Accepted++
+		} else {
+			s.Rejected++
+		}
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+
+	"achilles/internal/protocols/fsp"
+)
+
+// TestFireDrillAllTrojansAccepted: every Trojan Achilles reports on the FSP
+// models must be accepted by the concrete server implementation — the two
+// implementations agree on the vulnerability surface.
+func TestFireDrillAllTrojansAccepted(t *testing.T) {
+	server := fsp.NewServer()
+	outcomes, err := FSPFireDrill(fsp.DirectClient(server).Send)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 112 {
+		t.Fatalf("outcomes = %d, want 112 Trojan classes", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.Accepted {
+			t.Errorf("trojan %d rejected by the concrete server: %v (%s)",
+				o.Trojan.Index, o.Trojan.Concrete, o.Effect)
+		}
+	}
+	s := Summarize(outcomes)
+	if s.Accepted != s.Total || s.Rejected != 0 {
+		t.Fatalf("summary %+v", s)
+	}
+	if server.SmuggledBytes == 0 {
+		t.Fatal("no smuggled bytes observed — mismatched-length Trojans had no effect")
+	}
+}
+
+func TestEffectDescriptions(t *testing.T) {
+	// Wildcard effect.
+	msg := make([]int64, fsp.NumFields)
+	msg[fsp.FieldLen] = 2
+	msg[fsp.FieldBuf] = fsp.Wildcard
+	msg[fsp.FieldBuf+1] = 'a'
+	if got := describeFSPEffect(msg, nil); !strings.Contains(got, "'*'") {
+		t.Errorf("wildcard effect missing: %q", got)
+	}
+	// Smuggling effect.
+	msg2 := make([]int64, fsp.NumFields)
+	msg2[fsp.FieldLen] = 3
+	msg2[fsp.FieldBuf] = 'a'
+	msg2[fsp.FieldBuf+2] = 'x'
+	if got := describeFSPEffect(msg2, nil); !strings.Contains(got, "smuggled") {
+		t.Errorf("smuggling effect missing: %q", got)
+	}
+}

@@ -1,0 +1,511 @@
+package lang
+
+// checker resolves identifiers, assigns local slots and verifies types.
+// It annotates the AST in place (Ref and Slot fields).
+type checker struct {
+	consts    map[string]int64
+	globals   map[string]int
+	globalTyp []Type
+	funcs     map[string]int
+	prog      *Program
+}
+
+// Check resolves and type-checks a parsed program. On success the AST is
+// annotated and ready for IR compilation.
+func Check(prog *Program) error {
+	c := &checker{
+		consts:  map[string]int64{},
+		globals: map[string]int{},
+		funcs:   map[string]int{},
+		prog:    prog,
+	}
+	for _, d := range prog.Consts {
+		if _, dup := c.consts[d.Name]; dup {
+			return errorf(d.Pos, "duplicate const %s", d.Name)
+		}
+		c.consts[d.Name] = d.Val
+	}
+	for i, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errorf(g.Pos, "duplicate global %s", g.Name)
+		}
+		if _, clash := c.consts[g.Name]; clash {
+			return errorf(g.Pos, "global %s shadows a const", g.Name)
+		}
+		if g.Type.Kind == TypeArray && g.Type.Len <= 0 {
+			return errorf(g.Pos, "global array %s needs a positive length", g.Name)
+		}
+		c.globals[g.Name] = i
+		c.globalTyp = append(c.globalTyp, g.Type)
+		if g.Init != nil {
+			if g.Type.Kind == TypeArray {
+				return errorf(g.Pos, "global array %s cannot have an initialiser", g.Name)
+			}
+			if _, err := c.constEval(g.Init); err != nil {
+				return err
+			}
+		}
+	}
+	for i, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errorf(f.Pos, "duplicate function %s", f.Name)
+		}
+		if _, isB := builtinNames[f.Name]; isB {
+			return errorf(f.Pos, "function %s shadows a builtin", f.Name)
+		}
+		c.funcs[f.Name] = i
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constEval folds a compile-time constant scalar expression.
+func (c *checker) constEval(e Expr) (int64, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, nil
+	case *BoolLit:
+		if e.Val {
+			return 1, nil
+		}
+		return 0, nil
+	case *VarExpr:
+		if v, ok := c.consts[e.Name]; ok {
+			return v, nil
+		}
+		return 0, errorf(e.Pos_, "%s is not a constant", e.Name)
+	case *UnaryExpr:
+		v, err := c.constEval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == TMinus {
+			return -v, nil
+		}
+		return 0, errorf(e.Pos_, "operator %s not allowed in constant expression", e.Op)
+	case *BinaryExpr:
+		x, err := c.constEval(e.X)
+		if err != nil {
+			return 0, err
+		}
+		y, err := c.constEval(e.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case TPlus:
+			return x + y, nil
+		case TMinus:
+			return x - y, nil
+		case TStar:
+			return x * y, nil
+		}
+		return 0, errorf(e.Pos_, "operator %s not allowed in constant expression", e.Op)
+	}
+	return 0, errorf(e.pos(), "not a constant expression")
+}
+
+// funcScope tracks local declarations during the walk of one function.
+type funcScope struct {
+	fn     *FuncDecl
+	scopes []map[string]localInfo
+	nSlots int
+}
+
+type localInfo struct {
+	slot int
+	typ  Type
+}
+
+func (fs *funcScope) push() { fs.scopes = append(fs.scopes, map[string]localInfo{}) }
+func (fs *funcScope) pop()  { fs.scopes = fs.scopes[:len(fs.scopes)-1] }
+
+func (fs *funcScope) declare(name string, typ Type) (int, bool) {
+	top := fs.scopes[len(fs.scopes)-1]
+	if _, dup := top[name]; dup {
+		return 0, false
+	}
+	slot := fs.nSlots
+	fs.nSlots++
+	top[name] = localInfo{slot: slot, typ: typ}
+	return slot, true
+}
+
+func (fs *funcScope) lookup(name string) (localInfo, bool) {
+	for i := len(fs.scopes) - 1; i >= 0; i-- {
+		if li, ok := fs.scopes[i][name]; ok {
+			return li, true
+		}
+	}
+	return localInfo{}, false
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	fs := &funcScope{fn: f}
+	fs.push()
+	for _, p := range f.Params {
+		if p.Type.Kind == TypeArray && p.Type.Len > 0 {
+			return errorf(p.Pos, "array parameters must be unsized ([]int)")
+		}
+		if _, ok := fs.declare(p.Name, p.Type); !ok {
+			return errorf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+	}
+	if err := c.checkStmts(fs, f.Body, 0); err != nil {
+		return err
+	}
+	fs.pop()
+	f.NumSlots = fs.nSlots
+	return nil
+}
+
+func (c *checker) checkStmts(fs *funcScope, stmts []Stmt, loopDepth int) error {
+	fs.push()
+	defer fs.pop()
+	for _, s := range stmts {
+		if err := c.checkStmt(fs, s, loopDepth); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(fs *funcScope, s Stmt, loopDepth int) error {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if s.Type.Kind == TypeArray {
+			if s.Type.Len <= 0 {
+				return errorf(s.Pos_, "local array %s needs a positive length", s.Name)
+			}
+			if s.Init != nil {
+				return errorf(s.Pos_, "array %s cannot have an initialiser", s.Name)
+			}
+		}
+		if s.Init != nil {
+			t, err := c.checkExpr(fs, s.Init, true)
+			if err != nil {
+				return err
+			}
+			if t.Kind != s.Type.Kind {
+				return errorf(s.Pos_, "cannot initialise %s %s with %s", s.Type, s.Name, t)
+			}
+		}
+		slot, ok := fs.declare(s.Name, s.Type)
+		if !ok {
+			return errorf(s.Pos_, "duplicate variable %s", s.Name)
+		}
+		s.Slot = slot
+		return nil
+
+	case *AssignStmt:
+		ref, typ, err := c.resolveVar(fs, s.Name, s.Pos_)
+		if err != nil {
+			return err
+		}
+		if ref.Kind == RefConst {
+			return errorf(s.Pos_, "cannot assign to constant %s", s.Name)
+		}
+		s.Ref = ref
+		if s.Index != nil {
+			if typ.Kind != TypeArray {
+				return errorf(s.Pos_, "%s is not an array", s.Name)
+			}
+			it, err := c.checkExpr(fs, s.Index, false)
+			if err != nil {
+				return err
+			}
+			if it.Kind != TypeInt {
+				return errorf(s.Pos_, "array index must be int")
+			}
+			vt, err := c.checkExpr(fs, s.Value, false)
+			if err != nil {
+				return err
+			}
+			if vt.Kind != TypeInt {
+				return errorf(s.Pos_, "array element must be int")
+			}
+			return nil
+		}
+		if typ.Kind == TypeArray {
+			return errorf(s.Pos_, "cannot assign whole array %s", s.Name)
+		}
+		vt, err := c.checkExpr(fs, s.Value, true)
+		if err != nil {
+			return err
+		}
+		if vt.Kind != typ.Kind {
+			return errorf(s.Pos_, "cannot assign %s to %s %s", vt, typ, s.Name)
+		}
+		return nil
+
+	case *IfStmt:
+		t, err := c.checkExpr(fs, s.Cond, false)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeBool {
+			return errorf(s.Pos_, "if condition must be bool, got %s", t)
+		}
+		if err := c.checkStmts(fs, s.Then, loopDepth); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return c.checkStmts(fs, s.Else, loopDepth)
+		}
+		return nil
+
+	case *WhileStmt:
+		t, err := c.checkExpr(fs, s.Cond, false)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeBool {
+			return errorf(s.Pos_, "while condition must be bool, got %s", t)
+		}
+		return c.checkStmts(fs, s.Body, loopDepth+1)
+
+	case *ReturnStmt:
+		if s.Value == nil {
+			if fs.fn.Ret.Kind != TypeVoid {
+				return errorf(s.Pos_, "function %s must return %s", fs.fn.Name, fs.fn.Ret)
+			}
+			return nil
+		}
+		if fs.fn.Ret.Kind == TypeVoid {
+			return errorf(s.Pos_, "function %s returns no value", fs.fn.Name)
+		}
+		t, err := c.checkExpr(fs, s.Value, true)
+		if err != nil {
+			return err
+		}
+		if t.Kind != fs.fn.Ret.Kind {
+			return errorf(s.Pos_, "return type mismatch: got %s, want %s", t, fs.fn.Ret)
+		}
+		return nil
+
+	case *BreakStmt:
+		if loopDepth == 0 {
+			return errorf(s.Pos_, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if loopDepth == 0 {
+			return errorf(s.Pos_, "continue outside loop")
+		}
+		return nil
+
+	case *ExprStmt:
+		_, err := c.checkCall(fs, s.Call, true)
+		return err
+	}
+	return errorf(s.stmtPos(), "unhandled statement")
+}
+
+func (c *checker) resolveVar(fs *funcScope, name string, pos Pos) (Ref, Type, error) {
+	if li, ok := fs.lookup(name); ok {
+		return Ref{Kind: RefLocal, Idx: li.slot}, li.typ, nil
+	}
+	if gi, ok := c.globals[name]; ok {
+		return Ref{Kind: RefGlobal, Idx: gi}, c.globalTyp[gi], nil
+	}
+	if v, ok := c.consts[name]; ok {
+		return Ref{Kind: RefConst, Val: v}, Type{Kind: TypeInt}, nil
+	}
+	return Ref{}, Type{}, errorf(pos, "undefined: %s", name)
+}
+
+// checkExpr verifies and annotates an expression. allowUserCall permits a
+// user-function call only when the expression IS the call (statement RHS);
+// nested user calls would fork inside expression evaluation and are
+// rejected, matching the engine's statement-level forking model.
+func (c *checker) checkExpr(fs *funcScope, e Expr, allowUserCall bool) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return Type{Kind: TypeInt}, nil
+	case *BoolLit:
+		return Type{Kind: TypeBool}, nil
+	case *VarExpr:
+		ref, typ, err := c.resolveVar(fs, e.Name, e.Pos_)
+		if err != nil {
+			return Type{}, err
+		}
+		e.Ref = ref
+		return typ, nil
+	case *IndexExpr:
+		ref, typ, err := c.resolveVar(fs, e.Name, e.Pos_)
+		if err != nil {
+			return Type{}, err
+		}
+		if typ.Kind != TypeArray {
+			return Type{}, errorf(e.Pos_, "%s is not an array", e.Name)
+		}
+		e.Ref = ref
+		it, err := c.checkExpr(fs, e.Index, false)
+		if err != nil {
+			return Type{}, err
+		}
+		if it.Kind != TypeInt {
+			return Type{}, errorf(e.Pos_, "array index must be int")
+		}
+		return Type{Kind: TypeInt}, nil
+	case *UnaryExpr:
+		t, err := c.checkExpr(fs, e.X, false)
+		if err != nil {
+			return Type{}, err
+		}
+		switch e.Op {
+		case TMinus:
+			if t.Kind != TypeInt {
+				return Type{}, errorf(e.Pos_, "unary - needs int")
+			}
+			return Type{Kind: TypeInt}, nil
+		case TNot:
+			if t.Kind != TypeBool {
+				return Type{}, errorf(e.Pos_, "! needs bool")
+			}
+			return Type{Kind: TypeBool}, nil
+		}
+		return Type{}, errorf(e.Pos_, "bad unary operator")
+	case *BinaryExpr:
+		xt, err := c.checkExpr(fs, e.X, false)
+		if err != nil {
+			return Type{}, err
+		}
+		yt, err := c.checkExpr(fs, e.Y, false)
+		if err != nil {
+			return Type{}, err
+		}
+		switch e.Op {
+		case TPlus, TMinus, TStar, TSlash, TPercent:
+			if xt.Kind != TypeInt || yt.Kind != TypeInt {
+				return Type{}, errorf(e.Pos_, "%s needs int operands", e.Op)
+			}
+			return Type{Kind: TypeInt}, nil
+		case TEq, TNe, TLt, TLe, TGt, TGe:
+			if xt.Kind != TypeInt || yt.Kind != TypeInt {
+				return Type{}, errorf(e.Pos_, "%s needs int operands", e.Op)
+			}
+			return Type{Kind: TypeBool}, nil
+		case TAnd, TOr:
+			if xt.Kind != TypeBool || yt.Kind != TypeBool {
+				return Type{}, errorf(e.Pos_, "%s needs bool operands", e.Op)
+			}
+			return Type{Kind: TypeBool}, nil
+		}
+		return Type{}, errorf(e.Pos_, "bad binary operator")
+	case *CallExpr:
+		return c.checkCall(fs, e, allowUserCall)
+	}
+	return Type{}, errorf(e.pos(), "unhandled expression")
+}
+
+func (c *checker) checkCall(fs *funcScope, call *CallExpr, statementPosition bool) (Type, error) {
+	if b, ok := builtinNames[call.Name]; ok {
+		call.Builtin = b
+		return c.checkBuiltin(fs, call, statementPosition)
+	}
+	fi, ok := c.funcs[call.Name]
+	if !ok {
+		return Type{}, errorf(call.Pos_, "undefined function %s", call.Name)
+	}
+	if !statementPosition {
+		return Type{}, errorf(call.Pos_, "user function call %s not allowed inside an expression (assign it to a variable first)", call.Name)
+	}
+	call.FuncIdx = fi
+	fn := c.prog.Funcs[fi]
+	if len(call.Args) != len(fn.Params) {
+		return Type{}, errorf(call.Pos_, "%s expects %d arguments, got %d", call.Name, len(fn.Params), len(call.Args))
+	}
+	for i, a := range call.Args {
+		at, err := c.checkExpr(fs, a, false)
+		if err != nil {
+			return Type{}, err
+		}
+		pt := fn.Params[i].Type
+		if pt.Kind == TypeArray {
+			if at.Kind != TypeArray {
+				return Type{}, errorf(call.Pos_, "argument %d of %s must be an array", i+1, call.Name)
+			}
+			if _, isVar := a.(*VarExpr); !isVar {
+				return Type{}, errorf(call.Pos_, "argument %d of %s must be an array variable", i+1, call.Name)
+			}
+			continue
+		}
+		if at.Kind != pt.Kind {
+			return Type{}, errorf(call.Pos_, "argument %d of %s: got %s, want %s", i+1, call.Name, at, pt)
+		}
+	}
+	return fn.Ret, nil
+}
+
+func (c *checker) checkBuiltin(fs *funcScope, call *CallExpr, statementPosition bool) (Type, error) {
+	b := call.Builtin
+	if !b.pure() && !statementPosition {
+		return Type{}, errorf(call.Pos_, "%s() only allowed in statement position", call.Name)
+	}
+	needArgs := func(n int) error {
+		if len(call.Args) != n {
+			return errorf(call.Pos_, "%s expects %d argument(s), got %d", call.Name, n, len(call.Args))
+		}
+		return nil
+	}
+	arrayArg := func(i int) error {
+		ve, ok := call.Args[i].(*VarExpr)
+		if !ok {
+			return errorf(call.Pos_, "%s expects an array variable", call.Name)
+		}
+		t, err := c.checkExpr(fs, ve, false)
+		if err != nil {
+			return err
+		}
+		if t.Kind != TypeArray {
+			return errorf(call.Pos_, "%s expects an array, got %s", call.Name, t)
+		}
+		return nil
+	}
+	switch b {
+	case BRecv, BSend:
+		if err := needArgs(1); err != nil {
+			return Type{}, err
+		}
+		if err := arrayArg(0); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeVoid}, nil
+	case BInput, BSymbolic:
+		if err := needArgs(0); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeInt}, nil
+	case BAssume:
+		if err := needArgs(1); err != nil {
+			return Type{}, err
+		}
+		t, err := c.checkExpr(fs, call.Args[0], false)
+		if err != nil {
+			return Type{}, err
+		}
+		if t.Kind != TypeBool {
+			return Type{}, errorf(call.Pos_, "assume expects a bool")
+		}
+		return Type{Kind: TypeVoid}, nil
+	case BAccept, BReject, BExit:
+		if err := needArgs(0); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeVoid}, nil
+	case BLen:
+		if err := needArgs(1); err != nil {
+			return Type{}, err
+		}
+		if err := arrayArg(0); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeInt}, nil
+	}
+	return Type{}, errorf(call.Pos_, "unknown builtin")
+}

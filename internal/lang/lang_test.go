@@ -1,0 +1,352 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex(`func main() { var x int = 42; // comment
+		x = x + 'A'; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []TokKind{
+		TKwFunc, TIdent, TLParen, TRParen, TLBrace,
+		TKwVar, TIdent, TKwInt, TAssign, TInt, TSemi,
+		TIdent, TAssign, TIdent, TPlus, TInt, TSemi, TRBrace, TEOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+	// 'A' lexes to 65.
+	if toks[15].Val != 65 {
+		t.Fatalf("char literal value = %d, want 65", toks[15].Val)
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks, err := Lex(`== != <= >= < > && || ! = + - * / %`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{TEq, TNe, TLe, TGe, TLt, TGt, TAnd, TOr, TNot, TAssign,
+		TPlus, TMinus, TStar, TSlash, TPercent, TEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexEscapes(t *testing.T) {
+	toks, err := Lex(`'\0' '\n' '\\' '\''`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 10, 92, 39}
+	for i, w := range want {
+		if toks[i].Val != w {
+			t.Fatalf("escape %d: got %d want %d", i, toks[i].Val, w)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"&", "|", "@", "'a", `'\q'`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("func\n  main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("func at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("main at %v", toks[1].Pos)
+	}
+}
+
+const sampleProgram = `
+const LIMIT = 100;
+const NEG = -5;
+var counter int;
+var tbl [8]int;
+
+func helper(a int, b int) int {
+	return a * b + LIMIT;
+}
+
+func fill(arr []int, v int) {
+	var i int = 0;
+	while i < len(arr) {
+		arr[i] = v;
+		i = i + 1;
+	}
+}
+
+func main() {
+	var x int = input();
+	if x < 0 || x >= LIMIT {
+		exit();
+	}
+	var y int = helper(x, 2);
+	fill(tbl, y);
+	counter = counter + 1;
+	if counter > 3 {
+		accept();
+	} else {
+		reject();
+	}
+}
+`
+
+func TestParseAndCheckSample(t *testing.T) {
+	prog, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Consts) != 2 || len(prog.Globals) != 2 || len(prog.Funcs) != 3 {
+		t.Fatalf("decl counts: %d consts, %d globals, %d funcs",
+			len(prog.Consts), len(prog.Globals), len(prog.Funcs))
+	}
+	if prog.Consts[1].Val != -5 {
+		t.Fatalf("NEG = %d", prog.Consts[1].Val)
+	}
+	if err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Funcs[2].NumSlots < 2 {
+		t.Fatalf("main should have >= 2 slots, got %d", prog.Funcs[2].NumSlots)
+	}
+}
+
+func TestCompileSample(t *testing.T) {
+	u, err := Compile(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.FuncNamed("main") == nil || u.FuncNamed("helper") == nil {
+		t.Fatal("missing functions")
+	}
+	if u.FuncNamed("nosuch") != nil {
+		t.Fatal("phantom function")
+	}
+	if u.GlobalNamed("counter") != 0 || u.GlobalNamed("tbl") != 1 || u.GlobalNamed("zzz") != -1 {
+		t.Fatal("global lookup broken")
+	}
+	main := u.FuncNamed("main")
+	if len(main.Code) == 0 || main.Code[len(main.Code)-1].Op != OpRet {
+		t.Fatal("main must end with an implicit return")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`func main( {}`,
+		`func main() { var x int }`,         // missing semicolon
+		`func main() { if x { } else }`,     // bad else
+		`func main() { x = ; }`,             // missing expr
+		`const X 3;`,                        // missing =
+		`var g;`,                            // missing type
+		`func f() { return 1 + ; }`,         // bad expr
+		`garbage`,                           // bad toplevel
+		`func main() { while { } }`,         // missing cond
+		`func main() { var a [0 int; }`,     // bad array type
+		`func f(x int, ) int { return x; }`, // trailing comma
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"undefined-var", `func main() { x = 1; }`, "undefined"},
+		{"undefined-func", `func main() { nope(); }`, "undefined function"},
+		{"dup-const", "const A = 1; const A = 2; func main() {}", "duplicate const"},
+		{"dup-global", "var g int; var g int; func main() {}", "duplicate global"},
+		{"dup-func", "func f() {} func f() {} func main() {}", "duplicate function"},
+		{"dup-param", "func f(a int, a int) {} func main() {}", "duplicate parameter"},
+		{"dup-local", "func main() { var x int; var x int; }", "duplicate variable"},
+		{"assign-const", "const A = 1; func main() { A = 2; }", "cannot assign to constant"},
+		{"bad-cond", `func main() { if 1 { } }`, "must be bool"},
+		{"bad-while", `func main() { while 0 { } }`, "must be bool"},
+		{"int-plus-bool", `func main() { var x int = 1 + (2 < 3) ; }`, "needs int"},
+		{"not-on-int", `func main() { var b bool = !3; }`, "needs bool"},
+		{"index-nonarray", `func main() { var x int; x[0] = 1; }`, "not an array"},
+		{"bool-index", `var a [3]int; func main() { a[true] = 1; }`, "index must be int"},
+		{"whole-array-assign", `var a [3]int; var b [3]int; func main() { a = 1; }`, "cannot assign whole array"},
+		{"break-outside", `func main() { break; }`, "break outside loop"},
+		{"continue-outside", `func main() { continue; }`, "continue outside loop"},
+		{"return-void-value", `func main() { return 3; }`, "returns no value"},
+		{"return-missing", `func f() int { return; } func main() {}`, "must return"},
+		{"arity", `func f(a int) {} func main() { f(); }`, "expects 1 argument"},
+		{"arg-type", `func f(a bool) {} func main() { f(1); }`, "got int, want bool"},
+		{"nested-user-call", `func f() int { return 1; } func main() { var x int = 1 + f(); }`, "not allowed inside an expression"},
+		{"impure-in-expr", `func main() { var x int = 1; if x > 0 { } accept(); var y bool = true; assume(y); }`, ""},
+		{"accept-in-expr", `func main() { var x int = 1 + accept(); }`, "statement position"},
+		{"assume-non-bool", `func main() { assume(1); }`, "assume expects a bool"},
+		{"recv-non-array", `func main() { var x int; recv(x); }`, "expects an array"},
+		{"len-non-array", `func main() { var x int; var y int = len(x); }`, "expects an array"},
+		{"sized-param", `func f(a [3]int) {} func main() {}`, "must be unsized"},
+		{"global-array-init", `var a [3]int = 5; func main() {}`, "cannot have an initialiser"},
+		{"shadow-builtin", `func recv() {} func main() {}`, "shadows a builtin"},
+		{"array-init", `func main() { var a [3]int = 1; }`, "cannot have an initialiser"},
+		{"global-nonconst-init", `var g int = input(); func main() {}`, "not a constant"},
+	}
+	for _, cse := range cases {
+		t.Run(cse.name, func(t *testing.T) {
+			prog, err := Parse(cse.src)
+			if err != nil {
+				t.Fatalf("parse failed: %v", err)
+			}
+			err = Check(prog)
+			if cse.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q", cse.wantSub)
+			}
+			if !strings.Contains(err.Error(), cse.wantSub) {
+				t.Fatalf("error %q does not contain %q", err.Error(), cse.wantSub)
+			}
+		})
+	}
+}
+
+func TestShadowingInNestedBlocks(t *testing.T) {
+	src := `
+func main() {
+	var x int = 1;
+	if x > 0 {
+		var x int = 2;
+		x = 3;
+	}
+	x = 4;
+}`
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("shadowing in nested block should be legal: %v", err)
+	}
+}
+
+func TestElseIfChain(t *testing.T) {
+	src := `
+func main() {
+	var x int = input();
+	if x == 1 {
+		accept();
+	} else if x == 2 {
+		reject();
+	} else {
+		exit();
+	}
+}`
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nCJmp := 0
+	for _, in := range u.FuncNamed("main").Code {
+		if in.Op == OpCJmp {
+			nCJmp++
+		}
+	}
+	if nCJmp != 2 {
+		t.Fatalf("want 2 conditional jumps, got %d", nCJmp)
+	}
+}
+
+func TestWhileLoweringTargets(t *testing.T) {
+	src := `
+func main() {
+	var i int = 0;
+	while i < 10 {
+		if i == 5 {
+			break;
+		}
+		if i == 3 {
+			continue;
+		}
+		i = i + 1;
+	}
+	reject();
+}`
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := u.FuncNamed("main").Code
+	// All jump targets must be within bounds.
+	for i, in := range code {
+		switch in.Op {
+		case OpJmp:
+			if in.A < 0 || in.A > len(code) {
+				t.Fatalf("instr %d: jmp target %d out of range", i, in.A)
+			}
+		case OpCJmp:
+			if in.A < 0 || in.A > len(code) || in.B < 0 || in.B > len(code) {
+				t.Fatalf("instr %d: cjmp targets %d/%d out of range", i, in.A, in.B)
+			}
+		}
+	}
+}
+
+func TestReturnCallLowering(t *testing.T) {
+	src := `
+func g(a int) int { return a + 1; }
+func f(x int) int { return g(x); }
+func main() { var r int = f(1); r = r + 1; }`
+	u, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := u.FuncNamed("f")
+	// Expect OpCall followed by OpRet with retRegister.
+	foundCall := false
+	for i, in := range f.Code {
+		if in.Op == OpCall {
+			foundCall = true
+			if i+1 >= len(f.Code) || f.Code[i+1].Op != OpRet {
+				t.Fatal("call not followed by ret")
+			}
+			if _, ok := f.Code[i+1].X.(retRegister); !ok {
+				t.Fatal("ret does not use the ret register")
+			}
+		}
+	}
+	if !foundCall {
+		t.Fatal("no call emitted")
+	}
+}
+
+func TestMustCompilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile should panic on bad source")
+		}
+	}()
+	MustCompile("not a program")
+}

@@ -1,0 +1,612 @@
+package lang
+
+// parser implements a recursive-descent parser for NL.
+type parser struct {
+	lx   *lexer
+	tok  Token
+	next Token
+	err  error
+}
+
+// Parse parses an NL module.
+func Parse(src string) (*Program, error) {
+	p := &parser{lx: newLexer(src)}
+	// Prime the two-token lookahead.
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.Kind != TEOF {
+		switch p.tok.Kind {
+		case TKwConst:
+			d, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			prog.Consts = append(prog.Consts, d)
+		case TKwVar:
+			d, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, d)
+		case TKwFunc:
+			d, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, d)
+		default:
+			return nil, errorf(p.tok.Pos, "expected const, var or func, got %s", p.tok.Kind)
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) advance() error {
+	p.tok = p.next
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.next = t
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errorf(p.tok.Pos, "expected %s, got %s", k, p.tok.Kind)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) accept(k TokKind) (bool, error) {
+	if p.tok.Kind != k {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// parseConst parses: const NAME = [-]INT ;
+func (p *parser) parseConst() (*ConstDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TAssign); err != nil {
+		return nil, err
+	}
+	neg := false
+	if ok, err := p.accept(TMinus); err != nil {
+		return nil, err
+	} else if ok {
+		neg = true
+	}
+	lit, err := p.expect(TInt)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	v := lit.Val
+	if neg {
+		v = -v
+	}
+	return &ConstDecl{Pos: pos, Name: name.Text, Val: v}, nil
+}
+
+// parseType parses: int | bool | [INT]int | []int (unsized, params only).
+func (p *parser) parseType(allowUnsized bool) (Type, error) {
+	switch p.tok.Kind {
+	case TKwInt:
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeInt}, nil
+	case TKwBool:
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeBool}, nil
+	case TLBracket:
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		length := -1
+		if p.tok.Kind == TInt {
+			length = int(p.tok.Val)
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+		} else if !allowUnsized {
+			return Type{}, errorf(p.tok.Pos, "array length required here")
+		}
+		if _, err := p.expect(TRBracket); err != nil {
+			return Type{}, err
+		}
+		if _, err := p.expect(TKwInt); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TypeArray, Len: length}, nil
+	}
+	return Type{}, errorf(p.tok.Pos, "expected type, got %s", p.tok.Kind)
+}
+
+// parseGlobal parses: var NAME TYPE [= EXPR] ;
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType(false)
+	if err != nil {
+		return nil, err
+	}
+	var init Expr
+	if ok, err := p.accept(TAssign); err != nil {
+		return nil, err
+	} else if ok {
+		init, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &GlobalDecl{Pos: pos, Name: name.Text, Type: typ, Init: init}, nil
+}
+
+// parseFunc parses: func NAME ( params ) [TYPE] { stmts }
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	pos := p.tok.Pos
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for p.tok.Kind != TRParen {
+		if len(params) > 0 {
+			if _, err := p.expect(TComma); err != nil {
+				return nil, err
+			}
+		}
+		pn, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := p.parseType(true)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, Param{Pos: pn.Pos, Name: pn.Text, Type: pt})
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	ret := Type{Kind: TypeVoid}
+	if p.tok.Kind == TKwInt || p.tok.Kind == TKwBool {
+		ret, err = p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Pos: pos, Name: name.Text, Params: params, Ret: ret, Body: body}, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.tok.Kind != TRBrace {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if stmts == nil {
+		stmts = []Stmt{}
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TKwVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType(false)
+		if err != nil {
+			return nil, err
+		}
+		var init Expr
+		if ok, err := p.accept(TAssign); err != nil {
+			return nil, err
+		} else if ok {
+			init, err = p.parseExprOrCall()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Pos_: pos, Name: name.Text, Type: typ, Init: init}, nil
+
+	case TKwIf:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if ok, err := p.accept(TKwElse); err != nil {
+			return nil, err
+		} else if ok {
+			if p.tok.Kind == TKwIf {
+				inner, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{inner}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Pos_: pos, Cond: cond, Then: then, Else: els}, nil
+
+	case TKwWhile:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos_: pos, Cond: cond, Body: body}, nil
+
+	case TKwReturn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var val Expr
+		if p.tok.Kind != TSemi {
+			var err error
+			val, err = p.parseExprOrCall()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Pos_: pos, Value: val}, nil
+
+	case TKwBreak:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos_: pos}, nil
+
+	case TKwContinue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos_: pos}, nil
+
+	case TIdent:
+		// assignment (x = e; / x[i] = e;) or call statement (f(...);)
+		if p.next.Kind == TLParen {
+			call, err := p.parseCall()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TSemi); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{Pos_: pos, Call: call}, nil
+		}
+		name, err := p.expect(TIdent)
+		if err != nil {
+			return nil, err
+		}
+		var index Expr
+		if ok, err := p.accept(TLBracket); err != nil {
+			return nil, err
+		} else if ok {
+			index, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBracket); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TAssign); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExprOrCall()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos_: pos, Name: name.Text, Index: index, Value: val}, nil
+	}
+	return nil, errorf(pos, "unexpected %s at start of statement", p.tok.Kind)
+}
+
+// parseExprOrCall parses either a plain expression or a top-level call
+// (user calls are only legal at the top level of an assignment RHS).
+func (p *parser) parseExprOrCall() (Expr, error) {
+	return p.parseExpr()
+}
+
+// parseCall parses NAME ( args ).
+func (p *parser) parseCall() (*CallExpr, error) {
+	name, err := p.expect(TIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.tok.Kind != TRParen {
+		if len(args) > 0 {
+			if _, err := p.expect(TComma); err != nil {
+				return nil, err
+			}
+		}
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	return &CallExpr{Pos_: name.Pos, Name: name.Text, Args: args}, nil
+}
+
+// Expression parsing with precedence climbing:
+//
+//	or:  ||
+//	and: &&
+//	cmp: == != < <= > >=
+//	add: + -
+//	mul: * / %
+//	unary: - !
+//	primary: literal, identifier, index, call, ( expr )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	x, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TOr {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos_: pos, Op: TOr, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	x, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TAnd {
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos_: pos, Op: TAnd, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	x, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TEq, TNe, TLt, TLe, TGt, TGe:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos_: pos, Op: op, X: x, Y: y}, nil
+	}
+	return x, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	x, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TPlus || p.tok.Kind == TMinus {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos_: pos, Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TStar || p.tok.Kind == TSlash || p.tok.Kind == TPercent {
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		y, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{Pos_: pos, Op: op, X: x, Y: y}
+	}
+	return x, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TMinus, TNot:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos_: pos, Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TInt:
+		v := p.tok.Val
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &IntLit{Pos_: pos, Val: v}, nil
+	case TKwTrue:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &BoolLit{Pos_: pos, Val: true}, nil
+	case TKwFalse:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &BoolLit{Pos_: pos, Val: false}, nil
+	case TLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TIdent:
+		if p.next.Kind == TLParen {
+			return p.parseCall()
+		}
+		name := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TLBracket {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBracket); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Pos_: pos, Name: name, Index: idx}, nil
+		}
+		return &VarExpr{Pos_: pos, Name: name}, nil
+	}
+	return nil, errorf(pos, "unexpected %s in expression", p.tok.Kind)
+}

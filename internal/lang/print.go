@@ -1,0 +1,135 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a parsed program back to NL source. The output parses to an
+// equivalent program (checked by the round-trip property test), which makes
+// generated node models inspectable and diffable.
+func Print(p *Program) string {
+	var b strings.Builder
+	for _, c := range p.Consts {
+		fmt.Fprintf(&b, "const %s = %d;\n", c.Name, c.Val)
+	}
+	for _, g := range p.Globals {
+		fmt.Fprintf(&b, "var %s %s", g.Name, typeStr(g.Type))
+		if g.Init != nil {
+			fmt.Fprintf(&b, " = %s", exprStr(g.Init))
+		}
+		b.WriteString(";\n")
+	}
+	for _, f := range p.Funcs {
+		b.WriteString("\n")
+		fmt.Fprintf(&b, "func %s(", f.Name)
+		for i, prm := range f.Params {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", prm.Name, typeStr(prm.Type))
+		}
+		b.WriteString(")")
+		if f.Ret.Kind != TypeVoid {
+			b.WriteString(" " + typeStr(f.Ret))
+		}
+		b.WriteString(" {\n")
+		printStmts(&b, f.Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func typeStr(t Type) string {
+	switch t.Kind {
+	case TypeInt:
+		return "int"
+	case TypeBool:
+		return "bool"
+	case TypeArray:
+		if t.Len < 0 {
+			return "[]int"
+		}
+		return "[" + strconv.Itoa(t.Len) + "]int"
+	}
+	return "void"
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("\t", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DeclStmt:
+			fmt.Fprintf(b, "%svar %s %s", ind, s.Name, typeStr(s.Type))
+			if s.Init != nil {
+				fmt.Fprintf(b, " = %s", exprStr(s.Init))
+			}
+			b.WriteString(";\n")
+		case *AssignStmt:
+			if s.Index != nil {
+				fmt.Fprintf(b, "%s%s[%s] = %s;\n", ind, s.Name, exprStr(s.Index), exprStr(s.Value))
+			} else {
+				fmt.Fprintf(b, "%s%s = %s;\n", ind, s.Name, exprStr(s.Value))
+			}
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif %s {\n", ind, exprStr(s.Cond))
+			printStmts(b, s.Then, depth+1)
+			if s.Else != nil {
+				fmt.Fprintf(b, "%s} else {\n", ind)
+				printStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile %s {\n", ind, exprStr(s.Cond))
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+		case *ReturnStmt:
+			if s.Value != nil {
+				fmt.Fprintf(b, "%sreturn %s;\n", ind, exprStr(s.Value))
+			} else {
+				fmt.Fprintf(b, "%sreturn;\n", ind)
+			}
+		case *BreakStmt:
+			fmt.Fprintf(b, "%sbreak;\n", ind)
+		case *ContinueStmt:
+			fmt.Fprintf(b, "%scontinue;\n", ind)
+		case *ExprStmt:
+			fmt.Fprintf(b, "%s%s;\n", ind, exprStr(s.Call))
+		}
+	}
+}
+
+// exprStr renders an expression with explicit parentheses around every
+// binary operation, which sidesteps precedence subtleties and guarantees
+// re-parse equivalence.
+func exprStr(e Expr) string {
+	switch e := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(e.Val, 10)
+	case *BoolLit:
+		if e.Val {
+			return "true"
+		}
+		return "false"
+	case *VarExpr:
+		return e.Name
+	case *IndexExpr:
+		return fmt.Sprintf("%s[%s]", e.Name, exprStr(e.Index))
+	case *UnaryExpr:
+		op := "-"
+		if e.Op == TNot {
+			op = "!"
+		}
+		return fmt.Sprintf("%s(%s)", op, exprStr(e.X))
+	case *BinaryExpr:
+		return fmt.Sprintf("(%s %s %s)", exprStr(e.X), e.Op, exprStr(e.Y))
+	case *CallExpr:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = exprStr(a)
+		}
+		return fmt.Sprintf("%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}

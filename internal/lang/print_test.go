@@ -1,0 +1,82 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintRoundTrip(t *testing.T) {
+	prog, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	reparsed, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("printed program does not parse: %v\n%s", err, printed)
+	}
+	if err := Check(reparsed); err != nil {
+		t.Fatalf("printed program does not check: %v\n%s", err, printed)
+	}
+	// Idempotence: printing the reparsed program is a fixpoint.
+	if Print(reparsed) != printed {
+		t.Fatalf("print is not a fixpoint:\n--- first\n%s\n--- second\n%s", printed, Print(reparsed))
+	}
+}
+
+func TestPrintRoundTripPreservesStructure(t *testing.T) {
+	const src = `
+var msg [3]int;
+func main() {
+	recv(msg);
+	if msg[0] < 0 || msg[0] >= 4 { reject(); }
+	var i int = 0;
+	while i < 2 {
+		if msg[1 + i] == 42 { continue; }
+		i = i + 1;
+		break;
+	}
+	if !(msg[1] > msg[2]) { reject(); }
+	accept();
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	u1, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Compile(printed)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, printed)
+	}
+	if len(u1.Funcs) != len(u2.Funcs) || len(u1.Globals) != len(u2.Globals) {
+		t.Fatal("round trip changed the program structure")
+	}
+	// The IR of the round-tripped program has the same opcode sequence.
+	c1, c2 := u1.FuncNamed("main").Code, u2.FuncNamed("main").Code
+	if len(c1) != len(c2) {
+		t.Fatalf("instruction counts differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i].Op != c2[i].Op {
+			t.Fatalf("instr %d: %v vs %v", i, c1[i].Op, c2[i].Op)
+		}
+	}
+}
+
+func TestPrintRendersAllForms(t *testing.T) {
+	prog, err := Parse(sampleProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(prog)
+	for _, want := range []string{"const LIMIT = 100;", "var tbl [8]int;",
+		"func helper(a int, b int) int", "arr []int", "while", "return", "else"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("printed program missing %q:\n%s", want, printed)
+		}
+	}
+}

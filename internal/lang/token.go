@@ -1,0 +1,299 @@
+// Package lang implements NL ("node language"), the small imperative
+// language in which the distributed-system node models analysed by Achilles
+// are written.
+//
+// NL plays the role that x86 binaries played in the paper: client and server
+// programs are written once in NL and then executed either symbolically (by
+// internal/symexec, to extract message grammars) or concretely (by the same
+// engine, for fuzzing and Trojan-injection oracles). The language is a
+// C-like subset — integers, booleans, fixed-size integer arrays, functions,
+// if/while control flow — plus the intrinsics that model a node's
+// environment: recv, send, input, symbolic, assume, accept, reject, exit.
+//
+// The package provides the lexer, parser, type checker and a compiler to a
+// flat jump-based IR that the execution engine interprets.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TIdent
+	TInt    // integer literal
+	TString // string literal (used by char-array initialisers)
+
+	// Keywords
+	TKwConst
+	TKwVar
+	TKwFunc
+	TKwIf
+	TKwElse
+	TKwWhile
+	TKwReturn
+	TKwBreak
+	TKwContinue
+	TKwTrue
+	TKwFalse
+	TKwInt
+	TKwBool
+
+	// Punctuation and operators
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBracket
+	TRBracket
+	TComma
+	TSemi
+	TAssign // =
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TEq  // ==
+	TNe  // !=
+	TLt  // <
+	TLe  // <=
+	TGt  // >
+	TGe  // >=
+	TAnd // &&
+	TOr  // ||
+	TNot // !
+)
+
+var tokNames = map[TokKind]string{
+	TEOF: "EOF", TIdent: "identifier", TInt: "int literal", TString: "string literal",
+	TKwConst: "const", TKwVar: "var", TKwFunc: "func", TKwIf: "if", TKwElse: "else",
+	TKwWhile: "while", TKwReturn: "return", TKwBreak: "break", TKwContinue: "continue",
+	TKwTrue: "true", TKwFalse: "false", TKwInt: "int", TKwBool: "bool",
+	TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}", TLBracket: "[", TRBracket: "]",
+	TComma: ",", TSemi: ";", TAssign: "=",
+	TPlus: "+", TMinus: "-", TStar: "*", TSlash: "/", TPercent: "%",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TAnd: "&&", TOr: "||", TNot: "!",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", k)
+}
+
+var keywords = map[string]TokKind{
+	"const": TKwConst, "var": TKwVar, "func": TKwFunc, "if": TKwIf, "else": TKwElse,
+	"while": TKwWhile, "return": TKwReturn, "break": TKwBreak, "continue": TKwContinue,
+	"true": TKwTrue, "false": TKwFalse, "int": TKwInt, "bool": TKwBool,
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // identifier text or literal spelling
+	Val  int64  // value for TInt
+	Pos  Pos
+}
+
+// Error is a lexing, parsing or type error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer converts source text into tokens.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *lexer) nextByte() byte {
+	b := lx.src[lx.off]
+	lx.off++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+func isAlpha(b byte) bool {
+	return b == '_' || (b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+// next returns the next token.
+func (lx *lexer) next() (Token, error) {
+	for lx.off < len(lx.src) {
+		b := lx.peekByte()
+		switch {
+		case b == ' ' || b == '\t' || b == '\r' || b == '\n':
+			lx.nextByte()
+		case b == '/' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '/':
+			for lx.off < len(lx.src) && lx.peekByte() != '\n' {
+				lx.nextByte()
+			}
+		default:
+			goto content
+		}
+	}
+content:
+	pos := Pos{lx.line, lx.col}
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TEOF, Pos: pos}, nil
+	}
+	b := lx.nextByte()
+	switch {
+	case isDigit(b):
+		v := int64(b - '0')
+		start := lx.off - 1
+		for lx.off < len(lx.src) && isDigit(lx.peekByte()) {
+			v = v*10 + int64(lx.nextByte()-'0')
+		}
+		return Token{Kind: TInt, Val: v, Text: lx.src[start:lx.off], Pos: pos}, nil
+	case isAlpha(b):
+		start := lx.off - 1
+		for lx.off < len(lx.src) && (isAlpha(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.nextByte()
+		}
+		text := lx.src[start:lx.off]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TIdent, Text: text, Pos: pos}, nil
+	case b == '\'':
+		// Character literal: evaluates to its ASCII code.
+		if lx.off >= len(lx.src) {
+			return Token{}, errorf(pos, "unterminated character literal")
+		}
+		c := lx.nextByte()
+		if c == '\\' {
+			if lx.off >= len(lx.src) {
+				return Token{}, errorf(pos, "unterminated escape")
+			}
+			switch e := lx.nextByte(); e {
+			case 'n':
+				c = '\n'
+			case 't':
+				c = '\t'
+			case '0':
+				c = 0
+			case '\\':
+				c = '\\'
+			case '\'':
+				c = '\''
+			default:
+				return Token{}, errorf(pos, "unknown escape \\%c", e)
+			}
+		}
+		if lx.off >= len(lx.src) || lx.nextByte() != '\'' {
+			return Token{}, errorf(pos, "unterminated character literal")
+		}
+		return Token{Kind: TInt, Val: int64(c), Text: string(c), Pos: pos}, nil
+	}
+	two := func(second byte, yes, no TokKind) (Token, error) {
+		if lx.peekByte() == second {
+			lx.nextByte()
+			return Token{Kind: yes, Pos: pos}, nil
+		}
+		return Token{Kind: no, Pos: pos}, nil
+	}
+	switch b {
+	case '(':
+		return Token{Kind: TLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TSemi, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TPercent, Pos: pos}, nil
+	case '=':
+		return two('=', TEq, TAssign)
+	case '!':
+		return two('=', TNe, TNot)
+	case '<':
+		return two('=', TLe, TLt)
+	case '>':
+		return two('=', TGe, TGt)
+	case '&':
+		if lx.peekByte() == '&' {
+			lx.nextByte()
+			return Token{Kind: TAnd, Pos: pos}, nil
+		}
+		return Token{}, errorf(pos, "unexpected '&'")
+	case '|':
+		if lx.peekByte() == '|' {
+			lx.nextByte()
+			return Token{Kind: TOr, Pos: pos}, nil
+		}
+		return Token{}, errorf(pos, "unexpected '|'")
+	}
+	return Token{}, errorf(pos, "unexpected character %q", b)
+}
+
+// Lex tokenises src completely (used by tests).
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TEOF {
+			return out, nil
+		}
+	}
+}

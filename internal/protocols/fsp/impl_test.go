@@ -1,0 +1,216 @@
+package fsp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	pkt := Encode(10, []byte("abc"))
+	msg, err := DecodeFields(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg[FieldCmd] != 10 || msg[FieldLen] != 3 || msg[FieldBuf] != 'a' || msg[FieldBuf+2] != 'c' {
+		t.Fatalf("decoded %v", msg)
+	}
+	back, err := EncodeFields(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back) != string(pkt) {
+		t.Fatalf("roundtrip mismatch: %v vs %v", back, pkt)
+	}
+}
+
+func TestChecksumRejected(t *testing.T) {
+	s := NewServer()
+	pkt := Encode(10, []byte("a"))
+	pkt[1]++ // corrupt checksum
+	if _, err := s.Handle(pkt); err == nil {
+		t.Fatal("bad checksum accepted")
+	}
+}
+
+func TestBasicOperations(t *testing.T) {
+	s := NewServer()
+	s.FS.Put("hello", []byte("world"))
+	c := DirectClient(s)
+
+	if _, err := c.Run("make_dir", "docs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run("stat", "docs"); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Send(Encode(byte(cmdCode("get_file")), []byte("hello")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "world" {
+		t.Fatalf("got %q", reply)
+	}
+	if _, err := c.Run("del_file", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.FS.Get("hello"); ok {
+		t.Fatal("file not deleted")
+	}
+	if _, err := c.Run("del_file", "hello"); err == nil {
+		t.Fatal("double delete should fail")
+	}
+}
+
+func TestGlobExpansion(t *testing.T) {
+	s := NewServer()
+	s.FS.Put("file1", nil)
+	s.FS.Put("file2", nil)
+	s.FS.Put("other", nil)
+	c := DirectClient(s)
+	targets, err := c.Expand("file*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 2 {
+		t.Fatalf("expanded to %v", targets)
+	}
+	// A pattern with no match expands to nothing: '*' is never sent.
+	targets, err = c.Expand("zzz*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 0 {
+		t.Fatalf("no-match pattern expanded to %v", targets)
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, name string
+		want      bool
+	}{
+		{"file*", "file1", true},
+		{"file*", "file", true},
+		{"file*", "afile", false},
+		{"*", "anything", true},
+		{"a*c", "abc", true},
+		{"a*c", "ac", true},
+		{"a*c", "ab", false},
+		{"f*l*e", "fle", true},
+	}
+	for _, c := range cases {
+		if got := globMatch(c.pat, c.name); got != c.want {
+			t.Errorf("globMatch(%q,%q)=%v want %v", c.pat, c.name, got, c.want)
+		}
+	}
+}
+
+// TestWildcardTrojanImpact replays the §6.3 story end to end: a Trojan
+// message creates a directory with a literal '*' in its name; removing it
+// with a correct client then destroys sibling directories too, because the
+// client cannot escape the wildcard.
+func TestWildcardTrojanImpact(t *testing.T) {
+	s := NewServer()
+	c := DirectClient(s)
+
+	// Normal state: a valuable directory exists. (Path lengths respect the
+	// analysis bound of 4 characters; the name stands in for the paper's
+	// 'fileWithAllMyBankAccounts'.)
+	if _, err := c.Run("make_dir", "fil1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject the Trojan discovered by Achilles: a MAKE_DIR whose path
+	// contains a literal '*'. No correct client can produce this packet
+	// (glob expansion would have replaced the '*').
+	trojan := make([]int64, NumFields)
+	trojan[FieldCmd] = cmdCode("make_dir")
+	trojan[FieldLen] = 4
+	for i, ch := range []byte("fil*") {
+		trojan[FieldBuf+i] = int64(ch)
+	}
+	if !IsTrojan(trojan, true) {
+		t.Fatal("injection vector is not a Trojan under globbing clients")
+	}
+	pkt, err := EncodeFields(trojan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Handle(pkt); err != nil {
+		t.Fatalf("server rejected the Trojan: %v", err)
+	}
+	if !s.FS.dirs["fil*"] {
+		t.Fatal("trojan directory not created")
+	}
+
+	// The victim now tries to delete 'fil*' with a correct client: the
+	// glob matches BOTH directories, destroying the valuable one.
+	deleted, err := c.Run("del_dir", "fil*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("glob deleted %v", deleted)
+	}
+	if s.FS.dirs["fil1"] {
+		t.Fatal("collateral directory survived — expected the bug to destroy it")
+	}
+}
+
+// TestMismatchedLengthSmuggling demonstrates the second §6.3 finding: an
+// early NUL lets arbitrary payload ride along unnoticed.
+func TestMismatchedLengthSmuggling(t *testing.T) {
+	s := NewServer()
+	s.FS.Put("a", []byte("data"))
+
+	trojan := make([]int64, NumFields)
+	trojan[FieldCmd] = cmdCode("del_file")
+	trojan[FieldLen] = 4
+	trojan[FieldBuf] = 'a'
+	// buf[1] = 0 (early NUL), then smuggled payload.
+	trojan[FieldBuf+2] = 0x41
+	trojan[FieldBuf+3] = 0x42
+	if !IsTrojan(trojan, false) {
+		t.Fatal("vector is not a mismatched-length Trojan")
+	}
+	pkt, err := EncodeFields(trojan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Handle(pkt); err != nil {
+		t.Fatalf("server rejected the Trojan: %v", err)
+	}
+	if _, ok := s.FS.Get("a"); ok {
+		t.Fatal("the C-string prefix was not acted on")
+	}
+	if s.SmuggledBytes != 2 {
+		t.Fatalf("smuggled bytes = %d, want 2", s.SmuggledBytes)
+	}
+}
+
+func TestUDPTransport(t *testing.T) {
+	s := NewServer()
+	s.FS.Put("net", []byte("payload"))
+	us, err := ListenUDP("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer us.Close()
+
+	c, err := UDPClient(us.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := c.Send(Encode(byte(cmdCode("get_file")), []byte("net")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "payload" {
+		t.Fatalf("got %q", reply)
+	}
+	// Errors travel back too.
+	if _, err := c.Send(Encode(byte(cmdCode("get_file")), []byte("missing"))); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Fatalf("want not-found error, got %v", err)
+	}
+}

@@ -1,0 +1,403 @@
+// Package fsp models the File Service Protocol (FSP 2.8.1b26), the UDP file
+// transfer system that is the main evaluation target of the Achilles paper
+// (§6.1–§6.3).
+//
+// The analysed message is the FSP command packet:
+//
+//	cmd(1B) sum(1B) bb_key(2B) bb_seq(2B) bb_len(2B) bb_pos(4B) buf(path)
+//
+// represented as a field vector: one slot per header field plus one slot per
+// path byte (MaxPath bytes). Exactly as in the paper's evaluation, the sum,
+// bb_key, bb_seq and bb_pos fields are "annotated away": clients write a
+// predefined constant (0) and the server checks for that constant, which
+// sidesteps checksum reasoning and keeps the remaining fields independent.
+//
+// Two real FSP bugs are planted faithfully:
+//
+//   - Mismatched string lengths (§6.3): the server derives the path with
+//     C-string semantics (stops at the first NUL) and never checks that the
+//     actual length matches bb_len, so messages with an early NUL followed
+//     by arbitrary payload are accepted. No client generates them: for a
+//     path of k characters clients always send bb_len = k with no embedded
+//     NUL. With path length bounded to MaxLen = 4 this yields exactly
+//     (1+2+3+4) × 8 utilities = 80 Trojan classes (§6.2's known set).
+//
+//   - The wildcard character (§6.3): FSP clients glob-expand '*' before
+//     sending and offer no escape, so no correct client ever sends a literal
+//     '*' in a source path — yet the server accepts any printable character.
+//     The glob-aware client models therefore exclude '*' and Achilles finds
+//     the extra Trojan classes on the otherwise-valid paths.
+//
+// The package also provides a concrete Go FSP implementation (UDP server
+// with an in-memory filesystem and globbing clients) used for live Trojan
+// injection; see impl.go and udp.go.
+package fsp
+
+import (
+	"fmt"
+
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+)
+
+// Message geometry.
+const (
+	FieldCmd = 0 // command byte
+	FieldSum = 1 // checksum (annotated to constant 0)
+	FieldKey = 2 // bb_key (annotated)
+	FieldSeq = 3 // bb_seq (annotated)
+	FieldPos = 4 // bb_pos (annotated)
+	FieldLen = 5 // bb_len: reported path length
+	FieldBuf = 6 // first path byte
+
+	MaxPath   = 5 // path buffer slots
+	MaxLen    = 4 // maximum reported path length (the paper's bound of 5 exclusive)
+	NumFields = FieldBuf + MaxPath
+)
+
+// The eight single-path-argument FSP client utilities analysed in §6.2.
+var Commands = []struct {
+	Name string
+	Code int64
+}{
+	{"get_dir", 10},
+	{"get_file", 11},
+	{"del_file", 12},
+	{"del_dir", 13},
+	{"make_dir", 14},
+	{"get_pro", 15},
+	{"stat", 16},
+	{"grab_file", 17},
+}
+
+// CharMin and CharMax bound the printable characters the server accepts.
+const (
+	CharMin  = 33
+	CharMax  = 126
+	Wildcard = 42 // '*'
+)
+
+// FieldNames names the message layout for reports.
+var FieldNames = []string{
+	"cmd", "sum", "bb_key", "bb_seq", "bb_pos", "bb_len",
+	"buf0", "buf1", "buf2", "buf3", "buf4",
+}
+
+// ServerSrc is the NL model of the FSP server. The trailing-byte loop models
+// the UDP datagram length (bytes beyond bb_len are absent, i.e. zero); the
+// missing t == bb_len check is the planted mismatched-length bug.
+const ServerSrc = `
+const MAXLEN = 4;
+const MAXPATH = 5;
+var msg [11]int;
+
+func main() {
+	recv(msg);
+	// Annotated header fields: client writes constant 0, server checks it.
+	if msg[1] != 0 { reject(); }
+	if msg[2] != 0 { reject(); }
+	if msg[3] != 0 { reject(); }
+	if msg[4] != 0 { reject(); }
+	var L int = msg[5];
+	if L < 1 { reject(); }
+	if L > MAXLEN { reject(); }
+	// C-string scan of the path: stops at the first NUL.
+	var t int = 0;
+	var stop int = 0;
+	while t < L && stop == 0 {
+		var ch int = msg[6 + t];
+		if ch == 0 {
+			stop = 1;
+		} else {
+			if ch < 33 { reject(); }
+			if ch > 126 { reject(); }
+			t = t + 1;
+		}
+	}
+	// BUG (mismatched string lengths): the server never checks t == L, so
+	// an early NUL with arbitrary payload behind it is accepted.
+	// Datagram length: bytes beyond the declared length are absent (zero).
+	var j int = 0;
+	while j < MAXPATH {
+		if j >= L {
+			if msg[6 + j] != 0 { reject(); }
+		}
+		j = j + 1;
+	}
+	// Command dispatch: the server performs the file-system action here
+	// (accept markers sit where the model invokes local system calls).
+	if msg[0] == 10 { accept(); }
+	if msg[0] == 11 { accept(); }
+	if msg[0] == 12 { accept(); }
+	if msg[0] == 13 { accept(); }
+	if msg[0] == 14 { accept(); }
+	if msg[0] == 15 { accept(); }
+	if msg[0] == 16 { accept(); }
+	if msg[0] == 17 { accept(); }
+	reject();
+}`
+
+// clientTemplate is the per-utility NL client model. The %d is the command
+// code; the %s slot holds the globbing guard (empty for the no-glob
+// variant used in the §6.2 accuracy experiment, where the paper's setup
+// bypasses glob expansion with annotations).
+const clientTemplate = `
+const CMD = %d;
+var msg [11]int;
+
+func main() {
+	var arg [4]int;
+	var i int = 0;
+	var done int = 0;
+	while i < 4 && done == 0 {
+		var ch int = input();
+		if ch == 0 {
+			done = 1;
+		} else {
+			if ch < 33 { exit(); }
+			if ch > 126 { exit(); }
+%s			arg[i] = ch;
+			i = i + 1;
+		}
+	}
+	if i == 0 { exit(); }
+	msg[0] = CMD;
+	// msg[1..4] stay 0: the annotated checksum/key/seq/pos constants.
+	msg[5] = i;
+	var j int = 0;
+	while j < i {
+		msg[6 + j] = arg[j];
+		j = j + 1;
+	}
+	send(msg);
+	exit();
+}`
+
+// globGuard models FSP's glob expansion: a literal '*' never survives into
+// a sent source path (there is no escape character in FSP globbing).
+const globGuard = "\t\t\tif ch == 42 { exit(); }\n"
+
+// richClientTemplate is a closer model of the real FSP utilities' argv
+// handling: boolean flags and path normalisation (an optional leading '/'
+// that the client strips, since FSP paths are sent relative to the root).
+// Flags and normalisation do not change the message space, but they explode
+// the number of client path predicates — the regime Figure 11 studies,
+// where the differentFrom machinery pays off.
+const richClientTemplate = `
+const CMD = %d;
+var msg [11]int;
+
+var attempts int;
+var localEcho int;
+
+func main() {
+	// Command-line flags (e.g. -v, -f): parsed before the path argument.
+	// Each flag changes local behaviour, so the client forks per flag
+	// combination exactly as real argv parsing does.
+	var verbose int = input();
+	if verbose != 0 && verbose != 1 { exit(); }
+	if verbose == 1 {
+		localEcho = 1;
+	}
+	var force int = input();
+	if force != 0 && force != 1 { exit(); }
+	if force == 1 {
+		attempts = 3;
+	} else {
+		attempts = 1;
+	}
+	// Optional leading '/' stripped during path normalisation.
+	var lead int = input();
+	if lead != 0 && lead != 47 { exit(); }
+	if lead == 47 {
+		localEcho = localEcho + 1;
+	}
+	var arg [4]int;
+	var i int = 0;
+	var done int = 0;
+	while i < 4 && done == 0 {
+		var ch int = input();
+		if ch == 0 {
+			done = 1;
+		} else {
+			if ch < 33 { exit(); }
+			if ch > 126 { exit(); }
+%s			arg[i] = ch;
+			i = i + 1;
+		}
+	}
+	if i == 0 { exit(); }
+	msg[0] = CMD;
+	msg[5] = i;
+	var j int = 0;
+	while j < i {
+		msg[6 + j] = arg[j];
+		j = j + 1;
+	}
+	send(msg);
+	exit();
+}`
+
+// RichClientSrc renders one rich client utility model.
+func RichClientSrc(code int64, glob bool) string {
+	guard := ""
+	if glob {
+		guard = globGuard
+	}
+	return fmt.Sprintf(richClientTemplate, code, guard)
+}
+
+// RichClients compiles the eight rich client models (8 flag/normalisation
+// variants per utility and path length => 8×4×8 = 256 client paths).
+func RichClients(glob bool) []core.ClientProgram {
+	out := make([]core.ClientProgram, 0, len(Commands))
+	for _, c := range Commands {
+		out = append(out, core.ClientProgram{
+			Name: c.Name + "-rich",
+			Unit: lang.MustCompile(RichClientSrc(c.Code, glob)),
+		})
+	}
+	return out
+}
+
+// NewRichTarget is NewTarget with the rich client corpus; the Trojan
+// classes are identical (flags do not change the message space) but the
+// client predicate is 8x larger.
+func NewRichTarget(glob bool) core.Target {
+	t := NewTarget(glob)
+	t.Name += "-rich"
+	t.Clients = RichClients(glob)
+	return t
+}
+
+// ClientSrc renders one client utility model.
+func ClientSrc(code int64, glob bool) string {
+	guard := ""
+	if glob {
+		guard = globGuard
+	}
+	return fmt.Sprintf(clientTemplate, code, guard)
+}
+
+// Clients compiles the eight client utility models.
+func Clients(glob bool) []core.ClientProgram {
+	out := make([]core.ClientProgram, 0, len(Commands))
+	for _, c := range Commands {
+		out = append(out, core.ClientProgram{
+			Name: c.Name,
+			Unit: lang.MustCompile(ClientSrc(c.Code, glob)),
+		})
+	}
+	return out
+}
+
+// ServerUnit compiles the server model.
+func ServerUnit() *lang.Unit { return lang.MustCompile(ServerSrc) }
+
+// NewTarget builds the Achilles target. glob selects the client variant:
+// false reproduces the §6.2 accuracy experiment (80 known Trojan classes);
+// true additionally exposes the wildcard bug on the valid-length paths.
+func NewTarget(glob bool) core.Target {
+	name := "fsp-accuracy"
+	if glob {
+		name = "fsp-glob"
+	}
+	return core.Target{
+		Name:       name,
+		Server:     ServerUnit(),
+		Clients:    Clients(glob),
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{},
+		ClientExec: symexec.Options{},
+	}
+}
+
+// KnownTrojanClasses is the §6.2 ground truth: one class per (utility,
+// reported length L, true length t) with t < L — (1+2+3+4)×8 = 80.
+func KnownTrojanClasses() int {
+	perCmd := 0
+	for l := 1; l <= MaxLen; l++ {
+		perCmd += l
+	}
+	return perCmd * len(Commands)
+}
+
+// ClassOf maps a concrete message to its Trojan class identifier
+// (cmd, reportedLen, trueLen), or ok=false if the message is not an
+// accepted-shape message.
+func ClassOf(msg []int64) (cmd, reported, actual int64, ok bool) {
+	if len(msg) != NumFields {
+		return 0, 0, 0, false
+	}
+	cmd = msg[FieldCmd]
+	reported = msg[FieldLen]
+	actual = int64(0)
+	for i := 0; i < MaxPath; i++ {
+		if msg[FieldBuf+i] == 0 {
+			break
+		}
+		actual++
+	}
+	return cmd, reported, actual, true
+}
+
+// IsTrojan is the ground-truth oracle for the FSP experiments: a message is
+// Trojan iff the server accepts it and no correct client can generate it.
+// glob selects which client variant defines "correct".
+func IsTrojan(msg []int64, glob bool) bool {
+	if !Accepts(msg) {
+		return false
+	}
+	cmd, reported, actual, _ := ClassOf(msg)
+	_ = cmd
+	if actual < reported {
+		return true // mismatched-length Trojan
+	}
+	if glob {
+		for i := int64(0); i < reported; i++ {
+			if msg[FieldBuf+i] == Wildcard {
+				return true // wildcard Trojan
+			}
+		}
+	}
+	return false
+}
+
+// Accepts is a direct Go re-implementation of the server model's accept
+// condition, used as a fast oracle by the fuzzing baseline (the NL
+// interpreter agrees with it; see the cross-validation test).
+func Accepts(msg []int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldSum] != 0 || msg[FieldKey] != 0 || msg[FieldSeq] != 0 || msg[FieldPos] != 0 {
+		return false
+	}
+	l := msg[FieldLen]
+	if l < 1 || l > MaxLen {
+		return false
+	}
+	for t := int64(0); t < l; t++ {
+		ch := msg[FieldBuf+t]
+		if ch == 0 {
+			break
+		}
+		if ch < CharMin || ch > CharMax {
+			return false
+		}
+	}
+	for j := l; j < MaxPath; j++ {
+		if msg[FieldBuf+j] != 0 {
+			return false
+		}
+	}
+	validCmd := false
+	for _, c := range Commands {
+		if msg[FieldCmd] == c.Code {
+			validCmd = true
+			break
+		}
+	}
+	return validCmd
+}

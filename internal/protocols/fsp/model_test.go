@@ -1,0 +1,247 @@
+package fsp
+
+import (
+	"math/rand"
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/expr"
+	"achilles/internal/solver"
+	"achilles/internal/symexec"
+)
+
+func TestClientPathCount(t *testing.T) {
+	pc, err := core.ExtractClientPredicate(Clients(false), core.ExtractOptions{
+		FieldNames:     FieldNames,
+		SkipPreprocess: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 utilities x path lengths 1..4.
+	if len(pc.Paths) != 32 {
+		t.Fatalf("client paths = %d, want 32", len(pc.Paths))
+	}
+	if pc.NumFields != NumFields {
+		t.Fatalf("fields = %d, want %d", pc.NumFields, NumFields)
+	}
+	// Every path: cmd and bb_len are constants; annotated fields are 0.
+	lenHist := map[int64]int{}
+	for _, p := range pc.Paths {
+		if !p.Fields[FieldCmd].IsConst() {
+			t.Fatalf("cmd not constant: %s", p.Fields[FieldCmd])
+		}
+		if !p.Fields[FieldLen].IsConst() {
+			t.Fatalf("bb_len not constant: %s", p.Fields[FieldLen])
+		}
+		for _, f := range []int{FieldSum, FieldKey, FieldSeq, FieldPos} {
+			if !p.Fields[f].IsConst() || p.Fields[f].Val != 0 {
+				t.Fatalf("annotated field %d = %s", f, p.Fields[f])
+			}
+		}
+		lenHist[p.Fields[FieldLen].Val]++
+	}
+	for l := int64(1); l <= MaxLen; l++ {
+		if lenHist[l] != 8 {
+			t.Fatalf("paths with bb_len=%d: %d, want 8", l, lenHist[l])
+		}
+	}
+}
+
+func TestServerAcceptingPathCount(t *testing.T) {
+	res, err := symexec.Run(ServerUnit(), symexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := res.ByStatus(symexec.StatusAccepted)
+	// (L, t) combos: sum over L=1..4 of (L+1) = 14, times 8 commands.
+	if len(acc) != 112 {
+		t.Fatalf("accepting server paths = %d, want 112", len(acc))
+	}
+	for _, st := range res.States {
+		if st.Status == symexec.StatusError {
+			t.Fatalf("server model error: %v", st.Err)
+		}
+	}
+}
+
+func TestKnownTrojanCount(t *testing.T) {
+	if KnownTrojanClasses() != 80 {
+		t.Fatalf("known classes = %d, want 80", KnownTrojanClasses())
+	}
+}
+
+// TestAcceptsAgreesWithModel cross-validates the fast Go oracle against the
+// NL server model on random messages: the two implementations must agree on
+// every input, which is what makes the fuzzing baseline trustworthy.
+func TestAcceptsAgreesWithModel(t *testing.T) {
+	unit := ServerUnit()
+	rnd := rand.New(rand.NewSource(1))
+	agree := 0
+	for i := 0; i < 2000; i++ {
+		msg := randomMessage(rnd, i%3 == 0)
+		res, err := symexec.Run(unit, symexec.Options{Concrete: true, Message: msg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.States[0].Status == symexec.StatusAccepted
+		if res.States[0].Status == symexec.StatusError {
+			t.Fatalf("model error on %v: %v", msg, res.States[0].Err)
+		}
+		want := Accepts(msg)
+		if got != want {
+			t.Fatalf("disagreement on %v: model=%v oracle=%v", msg, got, want)
+		}
+		if got {
+			agree++
+		}
+	}
+	if agree == 0 {
+		t.Fatal("no random message was accepted; the biased generator is broken")
+	}
+}
+
+// randomMessage generates a message; biased=true makes acceptance likely.
+func randomMessage(rnd *rand.Rand, biased bool) []int64 {
+	msg := make([]int64, NumFields)
+	if biased {
+		msg[FieldCmd] = Commands[rnd.Intn(len(Commands))].Code
+		l := int64(rnd.Intn(MaxLen) + 1)
+		msg[FieldLen] = l
+		for i := int64(0); i < l; i++ {
+			if rnd.Intn(8) == 0 {
+				break // early NUL: a Trojan shape
+			}
+			msg[FieldBuf+i] = int64(CharMin + rnd.Intn(CharMax-CharMin+1))
+		}
+		return msg
+	}
+	for i := range msg {
+		msg[i] = int64(rnd.Intn(256))
+	}
+	return msg
+}
+
+func TestIsTrojanOracle(t *testing.T) {
+	valid := make([]int64, NumFields)
+	valid[FieldCmd] = 10
+	valid[FieldLen] = 2
+	valid[FieldBuf] = 'a'
+	valid[FieldBuf+1] = 'b'
+	if !Accepts(valid) {
+		t.Fatal("valid message rejected")
+	}
+	if IsTrojan(valid, false) || IsTrojan(valid, true) {
+		t.Fatal("valid message misclassified as Trojan")
+	}
+	// Early NUL => mismatched-length Trojan.
+	mism := append([]int64{}, valid...)
+	mism[FieldBuf+1] = 0
+	mism[FieldLen] = 2
+	if !Accepts(mism) {
+		t.Fatal("mismatched-length message should be accepted by the server")
+	}
+	if !IsTrojan(mism, false) {
+		t.Fatal("mismatched-length message not classified as Trojan")
+	}
+	// Wildcard: Trojan only under the globbing client model.
+	wild := append([]int64{}, valid...)
+	wild[FieldBuf] = Wildcard
+	if !Accepts(wild) {
+		t.Fatal("wildcard message should be accepted")
+	}
+	if IsTrojan(wild, false) {
+		t.Fatal("wildcard is client-generatable in the no-glob variant")
+	}
+	if !IsTrojan(wild, true) {
+		t.Fatal("wildcard must be Trojan under globbing clients")
+	}
+	// Rejected messages are never Trojan.
+	bad := append([]int64{}, valid...)
+	bad[FieldSum] = 1
+	if IsTrojan(bad, true) {
+		t.Fatal("rejected message misclassified")
+	}
+}
+
+// TestAccuracyExperiment is the §6.2 core result: Achilles discovers all 80
+// known Trojan classes in the bounded FSP setup with zero false positives.
+func TestAccuracyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full FSP analysis in -short mode")
+	}
+	run, err := core.Run(NewTarget(false), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Analysis
+	if len(res.Trojans) != KnownTrojanClasses() {
+		t.Fatalf("trojans = %d, want %d", len(res.Trojans), KnownTrojanClasses())
+	}
+	// No false positives: every report verified both ways.
+	classes := map[[3]int64]bool{}
+	for _, tr := range res.Trojans {
+		if !tr.VerifiedAccept {
+			t.Errorf("trojan %d: example %v not accepted concretely", tr.Index, tr.Concrete)
+		}
+		if !tr.VerifiedNotClient {
+			t.Errorf("trojan %d: example %v generatable by a client", tr.Index, tr.Concrete)
+		}
+		if !IsTrojan(tr.Concrete, false) {
+			t.Errorf("trojan %d: example %v fails the ground-truth oracle", tr.Index, tr.Concrete)
+		}
+		cmd, rep, act, _ := ClassOf(tr.Concrete)
+		if act >= rep {
+			t.Errorf("trojan %d: example %v has no early NUL", tr.Index, tr.Concrete)
+		}
+		classes[[3]int64{cmd, rep, act}] = true
+	}
+	if len(classes) != KnownTrojanClasses() {
+		t.Errorf("distinct classes covered = %d, want %d", len(classes), KnownTrojanClasses())
+	}
+	// Figure 10 shape: discovery is incremental (strictly increasing).
+	if len(res.Timeline) != len(res.Trojans) {
+		t.Errorf("timeline entries = %d", len(res.Timeline))
+	}
+}
+
+// TestWildcardExperiment reproduces the §6.3 wildcard finding: with glob-
+// aware clients, Achilles additionally reports Trojan classes on the
+// valid-length paths that admit a literal '*'.
+func TestWildcardExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full FSP analysis in -short mode")
+	}
+	run, err := core.Run(NewTarget(true), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Analysis
+	// 80 length classes + 32 wildcard classes (8 cmds x lengths 1..4).
+	want := KnownTrojanClasses() + 8*MaxLen
+	if len(res.Trojans) != want {
+		t.Fatalf("trojans = %d, want %d", len(res.Trojans), want)
+	}
+	s := solver.Default()
+	wildcardClasses := 0
+	for _, tr := range res.Trojans {
+		_, rep, act, _ := ClassOf(tr.Concrete)
+		if act == rep {
+			wildcardClasses++
+			// The witness must admit a literal '*' somewhere in the path.
+			star := expr.False()
+			for i := 0; i < MaxPath; i++ {
+				star = expr.Or(star, expr.Eq(expr.Var(run.Clients.MsgVarName(FieldBuf+i)), expr.Const(Wildcard)))
+			}
+			if r, _ := s.Check([]*expr.Expr{tr.Witness, star}); r != solver.Sat {
+				t.Errorf("valid-length trojan %d does not admit '*': %v", tr.Index, tr.Concrete)
+			}
+		}
+		if !IsTrojan(tr.Concrete, true) {
+			t.Errorf("trojan %d example %v fails oracle", tr.Index, tr.Concrete)
+		}
+	}
+	if wildcardClasses != 8*MaxLen {
+		t.Errorf("wildcard classes = %d, want %d", wildcardClasses, 8*MaxLen)
+	}
+}

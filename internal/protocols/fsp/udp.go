@@ -1,0 +1,96 @@
+package fsp
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// UDPServer serves a concrete FSP Server over a real UDP socket, so that
+// Trojan messages can be injected into a live deployment exactly as the
+// paper's fire-drill scenario prescribes.
+type UDPServer struct {
+	Server *Server
+	conn   *net.UDPConn
+	done   chan struct{}
+}
+
+// ListenUDP starts an FSP server on the given address ("127.0.0.1:0" picks
+// a free port).
+func ListenUDP(addr string, s *Server) (*UDPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	us := &UDPServer{Server: s, conn: conn, done: make(chan struct{})}
+	go us.loop()
+	return us, nil
+}
+
+// Addr returns the bound address.
+func (us *UDPServer) Addr() string { return us.conn.LocalAddr().String() }
+
+// Close stops the server.
+func (us *UDPServer) Close() error {
+	err := us.conn.Close()
+	<-us.done
+	return err
+}
+
+func (us *UDPServer) loop() {
+	defer close(us.done)
+	buf := make([]byte, 4096)
+	for {
+		n, peer, err := us.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		reply, herr := us.Server.Handle(append([]byte{}, buf[:n]...))
+		if herr != nil {
+			reply = []byte("ERR " + herr.Error())
+		} else {
+			reply = append([]byte("OK "), reply...)
+		}
+		if _, err := us.conn.WriteToUDP(reply, peer); err != nil {
+			return
+		}
+	}
+}
+
+// UDPClient returns a Client that talks to a UDP FSP server.
+func UDPClient(addr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{Send: func(pkt []byte) ([]byte, error) {
+		conn, err := net.DialUDP("udp", nil, ua)
+		if err != nil {
+			return nil, err
+		}
+		defer conn.Close()
+		if err := conn.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			return nil, err
+		}
+		if _, err := conn.Write(pkt); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 4096)
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		reply := buf[:n]
+		if len(reply) >= 4 && string(reply[:4]) == "ERR " {
+			return nil, fmt.Errorf("fsp: server error: %s", reply[4:])
+		}
+		if len(reply) >= 3 && string(reply[:3]) == "OK " {
+			return reply[3:], nil
+		}
+		return reply, nil
+	}}, nil
+}

@@ -1,0 +1,82 @@
+package kv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the concrete Go KV server matching the NL model, used to
+// demonstrate the §2 privacy leak end to end: a READ with a negative
+// address returns bytes from the server's internal memory that precede the
+// data array.
+
+// Concrete server errors.
+var (
+	ErrBadSender = errors.New("kv: unknown sender")
+	ErrBadCRC    = errors.New("kv: checksum mismatch")
+	ErrBadReq    = errors.New("kv: unknown request")
+	ErrRange     = errors.New("kv: address out of range")
+	// ErrCrash models the segfault a sufficiently negative Trojan address
+	// causes once it runs past the mapped memory below the data array.
+	ErrCrash = errors.New("kv: server crashed (out-of-bounds read)")
+)
+
+// ConcreteServer lays out its "memory" the way the paper's example implies:
+// a secrets region (e.g. the peer list) directly below the data array, so
+// an unchecked negative index reads it.
+type ConcreteServer struct {
+	// memory = secrets ++ data; data starts at offset len(secrets).
+	memory  []int64
+	dataOff int
+}
+
+// NewConcreteServer builds a server whose secret region precedes its data.
+func NewConcreteServer(secrets []int64) *ConcreteServer {
+	s := &ConcreteServer{dataOff: len(secrets)}
+	s.memory = append(append([]int64{}, secrets...), make([]int64, DataSize)...)
+	return s
+}
+
+// Handle processes one field-vector message, mirroring the NL model exactly
+// — including the missing lower-bound check on READ. Addresses negative
+// enough to leave the secrets region crash the server (ErrCrash), the
+// Trojan's worst-case impact.
+func (s *ConcreteServer) Handle(msg []int64) (v int64, err error) {
+	defer func() {
+		if recover() != nil {
+			v, err = 0, ErrCrash
+		}
+	}()
+	return s.handle(msg)
+}
+
+func (s *ConcreteServer) handle(msg []int64) (int64, error) {
+	if len(msg) != NumFields {
+		return 0, fmt.Errorf("kv: bad message size %d", len(msg))
+	}
+	if msg[FieldSender] < 0 || msg[FieldSender] >= NumPeers {
+		return 0, ErrBadSender
+	}
+	if msg[FieldCRC] != CRC(msg[FieldSender], msg[FieldRequest], msg[FieldAddress], msg[FieldValue]) {
+		return 0, ErrBadCRC
+	}
+	addr := msg[FieldAddress]
+	switch msg[FieldRequest] {
+	case OpRead:
+		if addr >= DataSize {
+			return 0, ErrRange
+		}
+		// BUG: no addr < 0 check — negative addresses read the secrets.
+		return s.memory[int64(s.dataOff)+addr], nil
+	case OpWrite:
+		if addr >= DataSize || addr < 0 {
+			return 0, ErrRange
+		}
+		s.memory[int64(s.dataOff)+addr] = msg[FieldValue]
+		return msg[FieldValue], nil
+	}
+	return 0, ErrBadReq
+}
+
+// Data reads the server's data array (test helper).
+func (s *ConcreteServer) Data(i int) int64 { return s.memory[s.dataOff+i] }

@@ -1,0 +1,177 @@
+// Package kv models the working example of §2 of the Achilles paper: a
+// small read/write key-value server whose READ handler forgets to validate
+// that the address is non-negative, while correct clients always send
+// addresses in [0, DATASIZE). Any READ message with a negative address is a
+// Trojan message (a potential privacy leak: it reads memory before the data
+// array).
+//
+// The package provides the NL models used by the analysis and a concrete Go
+// server implementation used by the injection harness to demonstrate the
+// leak end-to-end.
+package kv
+
+import (
+	"achilles/internal/core"
+	"achilles/internal/lang"
+)
+
+// Message field indices.
+const (
+	FieldSender  = 0
+	FieldRequest = 1
+	FieldAddress = 2
+	FieldValue   = 3
+	FieldCRC     = 4
+	NumFields    = 5
+)
+
+// Request types.
+const (
+	OpRead  = 1
+	OpWrite = 2
+)
+
+// DataSize matches DATASIZE in the models.
+const DataSize = 100
+
+// NumPeers matches NPEERS in the models.
+const NumPeers = 4
+
+// FieldNames names the message layout for reports.
+var FieldNames = []string{"sender", "request", "address", "value", "crc"}
+
+// ServerSrc is the NL model of the vulnerable server (Figure 2 of the
+// paper). The CRC is modelled as the plain field sum, matching the client.
+const ServerSrc = `
+// KV server model (paper Figure 2). Fields:
+// 0 sender, 1 request, 2 address, 3 value, 4 crc
+const DATASIZE = 100;
+const READ = 1;
+const WRITE = 2;
+const NPEERS = 4;
+var msg [5]int;
+
+func main() {
+	recv(msg);
+	if msg[0] < 0 || msg[0] >= NPEERS { reject(); }
+	if msg[4] != msg[0] + msg[1] + msg[2] + msg[3] { reject(); }
+	if msg[1] == READ {
+		if msg[2] >= DATASIZE { reject(); }
+		// Security vulnerability: forgot to check msg[2] < 0.
+		accept();
+	}
+	if msg[1] == WRITE {
+		if msg[2] >= DATASIZE { reject(); }
+		if msg[2] < 0 { reject(); }
+		accept();
+	}
+	reject();
+}`
+
+// FixedServerSrc is the server hardened per the paper's prescription —
+// "servers should do what correct clients require them to do and not one bit
+// more": the READ bounds check is added AND the unused value field of READ
+// requests must be zero, exactly mirroring what correct clients send.
+// Achilles must find no Trojans in it.
+const FixedServerSrc = `
+const DATASIZE = 100;
+const READ = 1;
+const WRITE = 2;
+const NPEERS = 4;
+var msg [5]int;
+
+func main() {
+	recv(msg);
+	if msg[0] < 0 || msg[0] >= NPEERS { reject(); }
+	if msg[4] != msg[0] + msg[1] + msg[2] + msg[3] { reject(); }
+	if msg[1] == READ {
+		if msg[2] >= DATASIZE { reject(); }
+		if msg[2] < 0 { reject(); }
+		if msg[3] != 0 { reject(); }
+		accept();
+	}
+	if msg[1] == WRITE {
+		if msg[2] >= DATASIZE { reject(); }
+		if msg[2] < 0 { reject(); }
+		accept();
+	}
+	reject();
+}`
+
+// ClientSrc is the NL model of the correct client (Figure 3 of the paper).
+// getPeerID() is over-approximated to [0, NPEERS) exactly like the paper's
+// Figure 9 annotation.
+const ClientSrc = `
+const DATASIZE = 100;
+const READ = 1;
+const WRITE = 2;
+const NPEERS = 4;
+var msg [5]int;
+
+func main() {
+	var peerID int = input();
+	assume(peerID >= 0);
+	assume(peerID < NPEERS);
+	var operationType int = input();
+	var address int = input();
+	if address >= DATASIZE { exit(); }
+	if address < 0 { exit(); }
+	// Client only sends addresses in [0, 100).
+	if operationType == READ {
+		msg[0] = peerID;
+		msg[1] = READ;
+		msg[2] = address;
+		msg[3] = 0;
+		msg[4] = msg[0] + msg[1] + msg[2] + msg[3];
+		send(msg);
+		exit();
+	}
+	if operationType == WRITE {
+		var value int = input();
+		msg[0] = peerID;
+		msg[1] = WRITE;
+		msg[2] = address;
+		msg[3] = value;
+		msg[4] = msg[0] + msg[1] + msg[2] + msg[3];
+		send(msg);
+		exit();
+	}
+	exit();
+}`
+
+// Units returns freshly compiled models.
+func Units() (server, fixedServer, client *lang.Unit) {
+	return lang.MustCompile(ServerSrc), lang.MustCompile(FixedServerSrc), lang.MustCompile(ClientSrc)
+}
+
+// NewTarget builds the Achilles target for the vulnerable server.
+func NewTarget() core.Target {
+	server, _, client := Units()
+	return core.Target{
+		Name:       "kv",
+		Server:     server,
+		Clients:    []core.ClientProgram{{Name: "kv-client", Unit: client}},
+		FieldNames: FieldNames,
+	}
+}
+
+// NewFixedTarget builds the target for the patched server.
+func NewFixedTarget() core.Target {
+	_, fixed, client := Units()
+	return core.Target{
+		Name:       "kv-fixed",
+		Server:     fixed,
+		Clients:    []core.ClientProgram{{Name: "kv-client", Unit: client}},
+		FieldNames: FieldNames,
+	}
+}
+
+// CRC computes the model checksum of a message (plain field sum).
+func CRC(sender, request, address, value int64) int64 {
+	return sender + request + address + value
+}
+
+// ValidMessage builds a correct client message.
+func ValidMessage(sender, request, address, value int64) []int64 {
+	return []int64{sender, request, address, value, CRC(sender, request, address, value)}
+}

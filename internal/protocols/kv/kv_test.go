@@ -1,0 +1,112 @@
+package kv
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/symexec"
+)
+
+func TestValidMessageRoundTrip(t *testing.T) {
+	s := NewConcreteServer([]int64{111, 222})
+	msg := ValidMessage(1, OpWrite, 5, 42)
+	if _, err := s.Handle(msg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Data(5) != 42 {
+		t.Fatalf("data[5] = %d", s.Data(5))
+	}
+	got, err := s.Handle(ValidMessage(1, OpRead, 5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("read %d", got)
+	}
+}
+
+func TestConcreteServerValidation(t *testing.T) {
+	s := NewConcreteServer([]int64{7})
+	if _, err := s.Handle(ValidMessage(99, OpRead, 0, 0)); err != ErrBadSender {
+		t.Fatalf("sender check: %v", err)
+	}
+	bad := ValidMessage(1, OpRead, 0, 0)
+	bad[FieldCRC]++
+	if _, err := s.Handle(bad); err != ErrBadCRC {
+		t.Fatalf("crc check: %v", err)
+	}
+	if _, err := s.Handle(ValidMessage(1, 9, 0, 0)); err != ErrBadReq {
+		t.Fatalf("req check: %v", err)
+	}
+	if _, err := s.Handle(ValidMessage(1, OpRead, DataSize, 0)); err != ErrRange {
+		t.Fatalf("range check: %v", err)
+	}
+	if _, err := s.Handle(ValidMessage(1, OpWrite, -1, 0)); err != ErrRange {
+		t.Fatalf("write lower bound: %v", err)
+	}
+}
+
+// TestTrojanLeaksSecrets wires the analysis output into the concrete
+// server: the discovered Trojan (negative READ address) leaks the secret
+// region below the data array — the §2 privacy leak, end to end.
+func TestTrojanLeaksSecrets(t *testing.T) {
+	run, err := core.Run(NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trojan []int64
+	for _, tr := range run.Analysis.Trojans {
+		if tr.Concrete[FieldAddress] < 0 {
+			trojan = tr.Concrete
+			break
+		}
+	}
+	if trojan == nil {
+		t.Fatal("no negative-address Trojan reported")
+	}
+	secrets := []int64{1001, 1002, 1003, 1004}
+	s := NewConcreteServer(secrets)
+	leaked, err := s.Handle(trojan)
+	if err != nil {
+		t.Fatalf("concrete server rejected the Trojan: %v", err)
+	}
+	idx := int64(len(secrets)) + trojan[FieldAddress]
+	if idx < 0 || leaked != secrets[idx] {
+		t.Fatalf("leak mismatch: got %d, memory[%d] = %d", leaked, idx, secrets[idx])
+	}
+}
+
+// TestModelAgreesWithConcrete cross-validates the NL model against the Go
+// server on a grid of messages. Model "accept" corresponds to the concrete
+// server performing the action — successfully or by crashing (the Trojan's
+// impact); rejections must agree exactly.
+func TestModelAgreesWithConcrete(t *testing.T) {
+	server, _, _ := Units()
+	s := NewConcreteServer([]int64{1001})
+	for sender := int64(-1); sender <= 4; sender++ {
+		for _, req := range []int64{0, OpRead, OpWrite, 3} {
+			for _, addr := range []int64{-2, -1, 0, 50, 99, 100} {
+				msg := ValidMessage(sender, req, addr, 1)
+				res, err := symexec.Run(server, symexec.Options{Concrete: true, Message: msg})
+				if err != nil {
+					t.Fatal(err)
+				}
+				modelAccepts := res.States[0].Status == symexec.StatusAccepted
+				_, cerr := s.Handle(msg)
+				concreteActed := cerr == nil || cerr == ErrCrash
+				if modelAccepts != concreteActed {
+					t.Fatalf("disagreement on %v: model=%v concrete=%v (%v)",
+						msg, modelAccepts, concreteActed, cerr)
+				}
+			}
+		}
+	}
+}
+
+// TestCrashOnDeepNegativeAddress: the worst-case Trojan impact.
+func TestCrashOnDeepNegativeAddress(t *testing.T) {
+	s := NewConcreteServer([]int64{1})
+	if _, err := s.Handle(ValidMessage(0, OpRead, -2, 0)); err != ErrCrash {
+		t.Fatalf("want crash, got %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package paxos
+
+import "fmt"
+
+// This file is a concrete single-decree Paxos implementation. Its role in
+// the reproduction is the §3.4/§6.3 impact demonstration: the phase-2
+// Trojan that Achilles finds on the acceptor model (an Accept message whose
+// value was never proposed under its ballot) violates agreement when
+// injected into a live group, because learners may observe a quorum for a
+// value no correct proposer chose.
+
+// Promise is an acceptor's phase-1 answer.
+type Promise struct {
+	OK            bool
+	AcceptedBal   int64
+	AcceptedValue int64
+	HasAccepted   bool
+}
+
+// Acceptor is one Paxos acceptor.
+type Acceptor struct {
+	promised    int64
+	acceptedBal int64
+	acceptedVal int64
+	hasAccepted bool
+}
+
+// Prepare handles a phase-1 request.
+func (a *Acceptor) Prepare(ballot int64) Promise {
+	if ballot <= a.promised {
+		return Promise{}
+	}
+	a.promised = ballot
+	return Promise{
+		OK:            true,
+		AcceptedBal:   a.acceptedBal,
+		AcceptedValue: a.acceptedVal,
+		HasAccepted:   a.hasAccepted,
+	}
+}
+
+// Accept handles a phase-2 request. Note that Paxos acceptors have no way
+// to validate the VALUE against the ballot owner's choice — that binding is
+// a promise of correct proposers only, which is exactly why a forged Accept
+// is a Trojan message rather than a protocol violation the receiver could
+// detect.
+func (a *Acceptor) Accept(ballot, value int64) bool {
+	if ballot < a.promised {
+		return false
+	}
+	a.promised = ballot
+	a.acceptedBal = ballot
+	a.acceptedVal = value
+	a.hasAccepted = true
+	return true
+}
+
+// Accepted reports the acceptor's current accepted pair.
+func (a *Acceptor) Accepted() (ballot, value int64, ok bool) {
+	return a.acceptedBal, a.acceptedVal, a.hasAccepted
+}
+
+// Group is a set of acceptors.
+type Group struct {
+	Acceptors []*Acceptor
+}
+
+// NewGroup creates n acceptors.
+func NewGroup(n int) *Group {
+	g := &Group{}
+	for i := 0; i < n; i++ {
+		g.Acceptors = append(g.Acceptors, &Acceptor{})
+	}
+	return g
+}
+
+// Quorum size.
+func (g *Group) Quorum() int { return len(g.Acceptors)/2 + 1 }
+
+// Propose runs both phases for (ballot, value) against the whole group and
+// returns the value actually chosen (phase 1 may force an earlier value).
+func (g *Group) Propose(ballot, value int64) (int64, error) {
+	var promises []Promise
+	for _, a := range g.Acceptors {
+		p := a.Prepare(ballot)
+		if p.OK {
+			promises = append(promises, p)
+		}
+	}
+	if len(promises) < g.Quorum() {
+		return 0, fmt.Errorf("paxos: no phase-1 quorum for ballot %d", ballot)
+	}
+	// Adopt the highest previously accepted value, if any.
+	chosen := value
+	best := int64(-1)
+	for _, p := range promises {
+		if p.HasAccepted && p.AcceptedBal > best {
+			best = p.AcceptedBal
+			chosen = p.AcceptedValue
+		}
+	}
+	acks := 0
+	for _, a := range g.Acceptors {
+		if a.Accept(ballot, chosen) {
+			acks++
+		}
+	}
+	if acks < g.Quorum() {
+		return 0, fmt.Errorf("paxos: no phase-2 quorum for ballot %d", ballot)
+	}
+	return chosen, nil
+}
+
+// Learn inspects a subset of acceptors and returns a value with a quorum of
+// identical (ballot, value) accepts, if any.
+func (g *Group) Learn(indices []int) (int64, bool) {
+	counts := map[[2]int64]int{}
+	for _, i := range indices {
+		if b, v, ok := g.Acceptors[i].Accepted(); ok {
+			counts[[2]int64{b, v}]++
+		}
+	}
+	for bv, n := range counts {
+		if n >= g.Quorum() {
+			return bv[1], true
+		}
+	}
+	return 0, false
+}
+
+// InjectAccept delivers a raw phase-2 message to one acceptor, bypassing
+// any proposer — the concrete injection vector for the Trojan Achilles
+// reports on the acceptor model.
+func (g *Group) InjectAccept(acceptor int, ballot, value int64) bool {
+	return g.Acceptors[acceptor].Accept(ballot, value)
+}

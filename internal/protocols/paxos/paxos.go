@@ -1,0 +1,130 @@
+// Package paxos provides the single-decree Paxos substrate used in §3.4 of
+// the Achilles paper to illustrate the three local-state analysis modes:
+//
+//   - Concrete Local State: run the protocol concretely up to a point
+//     (e.g. an acceptor that has entered phase 2 with proposed value 7) and
+//     analyse from there — any Accept for a different value is Trojan.
+//   - Constructed Symbolic Local State: run once with a *symbolic* proposed
+//     value shared by proposer and acceptor, covering every concrete world
+//     in one analysis.
+//   - Over-approximate Symbolic Local State: annotate the state-handling
+//     code to return unconstrained symbolic values (the symbolic()
+//     intrinsic), trading precision for solver load.
+//
+// The package contains the NL models for those analyses and a concrete Go
+// single-decree Paxos implementation used to show that the phase-2 Trojan
+// (an Accept carrying a value nobody proposed) breaks agreement when
+// injected.
+package paxos
+
+import (
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+)
+
+// Message field indices for the phase-2 (Accept) analysis.
+const (
+	FieldType   = 0
+	FieldBallot = 1
+	FieldValue  = 2
+	NumFields   = 3
+)
+
+// Message types.
+const (
+	MsgPrepare = 1
+	MsgAccept  = 2
+)
+
+// FieldNames names the analysed message layout.
+var FieldNames = []string{"type", "ballot", "value"}
+
+// ProposerSrc models the correct proposer in phase 2: it sends Accept
+// messages carrying exactly its current ballot and the proposed value from
+// its local state.
+const ProposerSrc = `
+const ACCEPT = 2;
+var ballot int;
+var proposedValue int;
+var msg [3]int;
+
+func main() {
+	msg[0] = ACCEPT;
+	msg[1] = ballot;
+	msg[2] = proposedValue;
+	send(msg);
+	exit();
+}`
+
+// AcceptorSrc models an acceptor handling phase-2 messages. It checks the
+// ballot against its promise but — the §3.4 scenario — accepts ANY value,
+// although in this phase the only correct Accept carries the proposed
+// value.
+const AcceptorSrc = `
+const ACCEPT = 2;
+var ballot int;
+var proposedValue int;
+var msg [3]int;
+
+func main() {
+	recv(msg);
+	if msg[0] != ACCEPT { reject(); }
+	if msg[1] != ballot { reject(); }
+	// Scenario vulnerability: the value is not validated against the
+	// ballot's proposal.
+	accept();
+}`
+
+// FixedAcceptorSrc validates the value too; no Trojans remain.
+const FixedAcceptorSrc = `
+const ACCEPT = 2;
+var ballot int;
+var proposedValue int;
+var msg [3]int;
+
+func main() {
+	recv(msg);
+	if msg[0] != ACCEPT { reject(); }
+	if msg[1] != ballot { reject(); }
+	if msg[2] != proposedValue { reject(); }
+	accept();
+}`
+
+// ConcreteStateTarget builds the Concrete Local State analysis: both nodes
+// are pinned to a specific world (ballot b, proposed value v) before the
+// run, as if the protocol had executed concretely up to phase 2.
+func ConcreteStateTarget(b, v int64) core.Target {
+	state := map[string]int64{"ballot": b, "proposedValue": v}
+	return core.Target{
+		Name:       "paxos-concrete",
+		Server:     lang.MustCompile(AcceptorSrc),
+		Clients:    []core.ClientProgram{{Name: "proposer", Unit: lang.MustCompile(ProposerSrc)}},
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{GlobalConcrete: state},
+		ClientExec: symexec.Options{GlobalConcrete: state},
+	}
+}
+
+// SymbolicStateTarget builds the Constructed Symbolic Local State analysis:
+// ballot and proposed value are shared symbolic state, so one run covers
+// every concrete world.
+func SymbolicStateTarget() core.Target {
+	sym := []string{"ballot", "proposedValue"}
+	return core.Target{
+		Name:       "paxos-symbolic",
+		Server:     lang.MustCompile(AcceptorSrc),
+		Clients:    []core.ClientProgram{{Name: "proposer", Unit: lang.MustCompile(ProposerSrc)}},
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{GlobalSymbolic: sym},
+		ClientExec: symexec.Options{GlobalSymbolic: sym},
+	}
+}
+
+// FixedSymbolicTarget is the symbolic-state analysis of the fixed acceptor.
+func FixedSymbolicTarget() core.Target {
+	t := SymbolicStateTarget()
+	t.Name = "paxos-fixed"
+	t.Server = lang.MustCompile(FixedAcceptorSrc)
+	return t
+}

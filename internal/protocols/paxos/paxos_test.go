@@ -1,0 +1,143 @@
+package paxos
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/expr"
+	"achilles/internal/solver"
+)
+
+// TestConcreteLocalStateMode: the §3.4 scenario — an acceptor in phase 2
+// with proposed value 7 should only validate Accepts for 7; any other value
+// is a Trojan message.
+func TestConcreteLocalStateMode(t *testing.T) {
+	run, err := core.Run(ConcreteStateTarget(3, 7), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Analysis
+	if len(res.Trojans) != 1 {
+		t.Fatalf("trojans = %d, want 1", len(res.Trojans))
+	}
+	tr := res.Trojans[0]
+	if tr.Concrete[FieldValue] == 7 {
+		t.Fatalf("trojan example %v carries the proposed value", tr.Concrete)
+	}
+	if tr.Concrete[FieldBallot] != 3 {
+		t.Fatalf("trojan example %v must use the promised ballot", tr.Concrete)
+	}
+	if !tr.VerifiedAccept || !tr.VerifiedNotClient {
+		t.Fatalf("verification failed: %+v", tr)
+	}
+}
+
+// TestConstructedSymbolicStateMode: one analysis with shared symbolic state
+// covers every concrete world (the paper: "developers can run Paxos once,
+// with a symbolic proposed value").
+func TestConstructedSymbolicStateMode(t *testing.T) {
+	run, err := core.Run(SymbolicStateTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Analysis
+	if len(res.Trojans) != 1 {
+		t.Fatalf("trojans = %d, want 1", len(res.Trojans))
+	}
+	tr := res.Trojans[0]
+	// The Trojan class is value != proposedValue, for ALL worlds: check the
+	// witness forbids value == proposedValue.
+	s := solver.Default()
+	q := []*expr.Expr{tr.Witness, expr.Eq(expr.Var("m2"), expr.Var("state_proposedValue"))}
+	if r, _ := s.Check(q); r != solver.Unsat {
+		t.Errorf("witness admits the proposed value: not the phase-2 Trojan")
+	}
+	// The concrete example instantiates a world and must verify in it.
+	if tr.Concrete[FieldValue] == tr.StateEnv["state_proposedValue"] {
+		t.Errorf("example %v equals the world's proposed value %v", tr.Concrete, tr.StateEnv)
+	}
+	if !tr.VerifiedAccept || !tr.VerifiedNotClient {
+		t.Fatalf("verification failed: %+v", tr)
+	}
+}
+
+// TestFixedAcceptorClean: validating the value closes the hole in every
+// world at once.
+func TestFixedAcceptorClean(t *testing.T) {
+	run, err := core.Run(FixedSymbolicTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(run.Analysis.Trojans); n != 0 {
+		t.Fatalf("fixed acceptor reported %d Trojans", n)
+	}
+}
+
+func TestConcretePaxosNormalRun(t *testing.T) {
+	g := NewGroup(3)
+	v, err := g.Propose(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("chose %d", v)
+	}
+	got, ok := g.Learn([]int{0, 1, 2})
+	if !ok || got != 7 {
+		t.Fatalf("learned %d ok=%v", got, ok)
+	}
+}
+
+func TestPaxosAdoptsEarlierValue(t *testing.T) {
+	g := NewGroup(3)
+	if _, err := g.Propose(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	// A later proposer must adopt 7, not its own 9.
+	v, err := g.Propose(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("ballot 2 chose %d, want adopted 7", v)
+	}
+}
+
+func TestStaleBallotRejected(t *testing.T) {
+	g := NewGroup(3)
+	if _, err := g.Propose(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p := g.Acceptors[0].Prepare(4); p.OK {
+		t.Fatal("stale prepare accepted")
+	}
+	if g.Acceptors[0].Accept(4, 9) {
+		t.Fatal("stale accept accepted")
+	}
+}
+
+// TestTrojanAcceptBreaksAgreement injects the Trojan found on the model
+// into the concrete group and shows two learners disagreeing — the impact
+// a fire drill would observe.
+func TestTrojanAcceptBreaksAgreement(t *testing.T) {
+	g := NewGroup(3)
+	if _, err := g.Propose(1, 7); err != nil {
+		t.Fatal(err)
+	}
+	before, ok := g.Learn([]int{0, 1, 2})
+	if !ok || before != 7 {
+		t.Fatalf("pre-attack learn: %d ok=%v", before, ok)
+	}
+	// Inject Accept(ballot=1, value=9) — never sent by a correct proposer
+	// for ballot 1 — into two acceptors.
+	if !g.InjectAccept(1, 1, 9) || !g.InjectAccept(2, 1, 9) {
+		t.Fatal("injection rejected")
+	}
+	after, ok := g.Learn([]int{0, 1, 2})
+	if !ok {
+		t.Fatal("post-attack learner found no quorum")
+	}
+	if after == before {
+		t.Fatalf("agreement survived: learned %d twice — injection had no effect", after)
+	}
+}

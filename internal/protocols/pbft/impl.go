@@ -1,0 +1,213 @@
+package pbft
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// This file is a concrete, deterministic PBFT-style cluster simulation used
+// by the §6.3 impact experiment: it measures how Trojan requests with
+// corrupted authenticators (the MAC attack) collapse the throughput of
+// correct clients by driving the cluster through its expensive recovery
+// path.
+//
+// The simulation runs the normal-case three-phase protocol (pre-prepare,
+// prepare, commit) over an in-process message bus with per-pair MAC keys.
+// Time is modelled in abstract cost units charged per message and per
+// protocol action, which keeps the experiment reproducible on any machine:
+// the *ratios* between normal-case cost and recovery cost are what the
+// paper's claim is about.
+
+// Cost model (abstract units).
+const (
+	CostMessage  = 1   // sending one protocol message
+	CostExec     = 2   // executing a committed request
+	CostRecovery = 250 // view-change/recovery round triggered by a bad MAC
+)
+
+// ClusterRequest is a client request as it travels through the concrete
+// cluster. MACs holds one authenticator per replica, keyed pairwise; Sig is
+// a digital signature all replicas can verify (used only by the fixed
+// protocol — MAC authenticators are the vulnerable fast path).
+type ClusterRequest struct {
+	CID  int64
+	RID  int64
+	Cmd  []byte
+	MACs []uint64
+	Sig  uint64
+}
+
+// Replica is one PBFT replica in the simulation.
+type Replica struct {
+	ID       int
+	keys     []uint64 // pairwise keys with clients: keys[cid]
+	executed int
+	lastRID  map[int64]int64
+}
+
+// Cluster is a 3f+1 replica group plus its bookkeeping.
+type Cluster struct {
+	F        int
+	Replicas []*Replica
+	// UseSignatures switches on the fix from Clement et al.: clients sign
+	// requests with a signature every replica can verify, so corruption is
+	// attributable and the primary drops bad requests cheaply instead of
+	// letting backups discover unverifiable MACs mid-protocol.
+	UseSignatures bool
+
+	Metrics Metrics
+}
+
+// Metrics accumulates simulation results.
+type Metrics struct {
+	Committed  int   // requests executed by the cluster
+	Dropped    int   // requests rejected cheaply (fix enabled)
+	Recoveries int   // expensive recovery rounds triggered
+	Cost       int64 // total simulated time units
+}
+
+// Goodput is committed requests per 1000 cost units.
+func (m Metrics) Goodput() float64 {
+	if m.Cost == 0 {
+		return 0
+	}
+	return float64(m.Committed) * 1000 / float64(m.Cost)
+}
+
+// NewCluster builds a cluster with n = 3f+1 replicas and nClients client
+// key pairs.
+func NewCluster(f int, nClients int) *Cluster {
+	n := 3*f + 1
+	c := &Cluster{F: f}
+	for i := 0; i < n; i++ {
+		r := &Replica{ID: i, keys: make([]uint64, nClients), lastRID: map[int64]int64{}}
+		for cid := 0; cid < nClients; cid++ {
+			r.keys[cid] = pairKey(int64(cid), i)
+		}
+		c.Replicas = append(c.Replicas, r)
+	}
+	return c
+}
+
+// pairKey derives the shared key between client cid and replica r.
+func pairKey(cid int64, replica int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "key-%d-%d", cid, replica)
+	return h.Sum64()
+}
+
+// mac computes the authenticator of a request digest under a pairwise key.
+func mac(key uint64, cid, rid int64, cmd []byte) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|", key, cid, rid)
+	h.Write(cmd)
+	return h.Sum64()
+}
+
+// sigKey is the per-client signing key (its verification side is known to
+// every replica).
+func sigKey(cid int64) uint64 { return pairKey(cid, 1<<20) }
+
+// NewRequest builds a correctly authenticated request for the cluster.
+func (c *Cluster) NewRequest(cid, rid int64, cmd []byte) ClusterRequest {
+	req := ClusterRequest{CID: cid, RID: rid, Cmd: cmd}
+	for _, r := range c.Replicas {
+		req.MACs = append(req.MACs, mac(r.keys[cid], cid, rid, cmd))
+	}
+	req.Sig = mac(sigKey(cid), cid, rid, cmd)
+	return req
+}
+
+// CorruptMACs returns a copy of req with every backup authenticator (and
+// the signature) corrupted — the Trojan shape Achilles discovers: the
+// primary's own MAC still verifies, so the vulnerable protocol cannot
+// reject the request before ordering it.
+func CorruptMACs(req ClusterRequest) ClusterRequest {
+	out := req
+	out.MACs = append([]uint64{}, req.MACs...)
+	for i := 1; i < len(out.MACs); i++ {
+		out.MACs[i] ^= 0xdeadbeef
+	}
+	out.Sig ^= 0xdeadbeef
+	return out
+}
+
+// verify checks replica r's own authenticator on the request.
+func (r *Replica) verify(req ClusterRequest) bool {
+	if int(req.CID) < 0 || int(req.CID) >= len(r.keys) {
+		return false
+	}
+	return req.MACs[r.ID] == mac(r.keys[req.CID], req.CID, req.RID, req.Cmd)
+}
+
+// Submit runs one request through the normal-case protocol, charging costs
+// and triggering recovery when a backup detects a bad authenticator.
+// It returns true when the request committed.
+func (c *Cluster) Submit(req ClusterRequest) bool {
+	n := len(c.Replicas)
+
+	if c.UseSignatures {
+		// The fix: a signature every replica can verify makes corruption
+		// attributable; the primary drops Trojan requests at the cost of a
+		// single check.
+		c.Metrics.Cost += CostMessage
+		if int(req.CID) < 0 || int(req.CID) >= len(c.Replicas[0].keys) ||
+			req.Sig != mac(sigKey(req.CID), req.CID, req.RID, req.Cmd) {
+			c.Metrics.Dropped++
+			return false
+		}
+	}
+
+	// Pre-prepare: primary assigns an order and forwards to all backups.
+	c.Metrics.Cost += int64(CostMessage * (n - 1))
+
+	// Backups validate their authenticator share. In the vulnerable
+	// protocol this is the first point where corruption is noticed — too
+	// late to attribute it: the client or the primary could be lying, so
+	// the replicas must run the expensive recovery protocol to make
+	// progress (Clement et al.'s MAC attack). With signatures the request
+	// was already authenticated above.
+	if !c.UseSignatures {
+		for _, r := range c.Replicas[1:] {
+			if !r.verify(req) {
+				c.Metrics.Recoveries++
+				c.Metrics.Cost += CostRecovery
+				return false
+			}
+		}
+	}
+
+	// Prepare and commit rounds: all-to-all.
+	c.Metrics.Cost += int64(2 * CostMessage * n * (n - 1))
+
+	// Execution.
+	c.Metrics.Cost += CostExec
+	for _, r := range c.Replicas {
+		r.executed++
+		if req.RID > r.lastRID[req.CID] {
+			r.lastRID[req.CID] = req.RID
+		}
+	}
+	c.Metrics.Committed++
+	return true
+}
+
+// Executed returns how many requests a replica has executed.
+func (r *Replica) Executed() int { return r.executed }
+
+// AttackWorkload runs total requests of which every attackEvery-th carries
+// corrupted authenticators (attackEvery <= 0 disables the attack), and
+// returns the metrics.
+func (c *Cluster) AttackWorkload(total int, attackEvery int) Metrics {
+	c.Metrics = Metrics{}
+	rid := int64(1)
+	for i := 0; i < total; i++ {
+		req := c.NewRequest(int64(i%len(c.Replicas[0].keys)), rid, []byte{byte(i), byte(i >> 8)})
+		rid++
+		if attackEvery > 0 && i%attackEvery == 0 {
+			req = CorruptMACs(req)
+		}
+		c.Submit(req)
+	}
+	return c.Metrics
+}

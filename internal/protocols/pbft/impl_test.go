@@ -1,0 +1,89 @@
+package pbft
+
+import "testing"
+
+func TestClusterNormalCase(t *testing.T) {
+	c := NewCluster(1, 4)
+	if len(c.Replicas) != 4 {
+		t.Fatalf("replicas = %d", len(c.Replicas))
+	}
+	req := c.NewRequest(0, 1, []byte("op"))
+	if !c.Submit(req) {
+		t.Fatal("valid request did not commit")
+	}
+	for _, r := range c.Replicas {
+		if r.Executed() != 1 {
+			t.Fatalf("replica %d executed %d", r.ID, r.Executed())
+		}
+	}
+	if c.Metrics.Recoveries != 0 {
+		t.Fatal("recovery triggered on a valid request")
+	}
+}
+
+func TestCorruptedMACTriggersRecovery(t *testing.T) {
+	c := NewCluster(1, 4)
+	req := CorruptMACs(c.NewRequest(0, 1, []byte("op")))
+	if c.Submit(req) {
+		t.Fatal("corrupted request committed")
+	}
+	if c.Metrics.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", c.Metrics.Recoveries)
+	}
+	if c.Metrics.Cost < CostRecovery {
+		t.Fatalf("recovery cost not charged: %d", c.Metrics.Cost)
+	}
+}
+
+func TestFixDropsTrojansCheaply(t *testing.T) {
+	c := NewCluster(1, 4)
+	c.UseSignatures = true
+	req := CorruptMACs(c.NewRequest(0, 1, []byte("op")))
+	if c.Submit(req) {
+		t.Fatal("corrupted request committed")
+	}
+	if c.Metrics.Recoveries != 0 {
+		t.Fatalf("fix should avoid recovery, got %d", c.Metrics.Recoveries)
+	}
+	if c.Metrics.Dropped != 1 {
+		t.Fatalf("dropped = %d", c.Metrics.Dropped)
+	}
+}
+
+// TestMACAttackImpact reproduces the §6.3 impact claim: a small fraction of
+// Trojan requests collapses the goodput of correct clients.
+func TestMACAttackImpact(t *testing.T) {
+	baseline := NewCluster(1, 4).AttackWorkload(2000, 0)
+	attacked := NewCluster(1, 4).AttackWorkload(2000, 10) // 10% Trojans
+
+	if baseline.Committed != 2000 {
+		t.Fatalf("baseline committed %d", baseline.Committed)
+	}
+	if attacked.Recoveries != 200 {
+		t.Fatalf("attacked recoveries = %d, want 200", attacked.Recoveries)
+	}
+	if attacked.Goodput() >= baseline.Goodput() {
+		t.Fatalf("attack did not hurt goodput: %v vs %v", attacked.Goodput(), baseline.Goodput())
+	}
+	degradation := attacked.Goodput() / baseline.Goodput()
+	if degradation > 0.75 {
+		t.Fatalf("attack degradation too mild: %.2f", degradation)
+	}
+}
+
+func TestReplayOrderingBookkeeping(t *testing.T) {
+	c := NewCluster(1, 4)
+	c.Submit(c.NewRequest(2, 7, []byte("a")))
+	if c.Replicas[0].lastRID[2] != 7 {
+		t.Fatalf("lastRID = %d", c.Replicas[0].lastRID[2])
+	}
+}
+
+func TestUnknownClientRejected(t *testing.T) {
+	c := NewCluster(1, 4)
+	req := c.NewRequest(0, 1, []byte("x"))
+	req.CID = 99 // out of the key table
+	if c.Submit(req) {
+		t.Fatal("unknown client committed")
+	}
+}

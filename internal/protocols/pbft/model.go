@@ -1,0 +1,211 @@
+// Package pbft models the PBFT (Castro-Liskov) client/replica pair analysed
+// in §6.1–§6.3 of the Achilles paper, and provides a concrete Go replica
+// cluster used to measure the impact of the MAC attack.
+//
+// The analysed message is the PBFT client request:
+//
+//	tag(2B) extra(2B) size(4B) od(16B) replier(2B) command_size(2B)
+//	cid(2B) rid(2B) command(...) MAC(authenticators)
+//
+// As in the paper's setup, the digest (od) and the MAC authenticator are
+// annotated to predefined constants in both client and replica, the command
+// length is fixed, and the replica's duplicate-request bookkeeping is
+// over-approximated with unconstrained symbolic local state (§3.4's third
+// mode, via the symbolic() intrinsic).
+//
+// The replica faithfully reproduces the checks the paper observed: request
+// ids must be recent, the client id must be known, the read-only flag is
+// honoured — and the authenticator is never verified before the primary
+// generates a Pre_prepare. That omission is the known MAC-attack
+// vulnerability [Clement et al., NSDI'09], which Achilles rediscovers as a
+// single Trojan class present on every accepting path.
+package pbft
+
+import (
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+)
+
+// Message field indices.
+const (
+	FieldTag     = 0
+	FieldExtra   = 1 // flags: bit 0 = read-only
+	FieldSize    = 2
+	FieldOD      = 3 // message digest (annotated constant)
+	FieldReplier = 4
+	FieldCmdSize = 5
+	FieldCID     = 6
+	FieldRID     = 7
+	FieldCmd0    = 8
+	FieldCmd1    = 9
+	FieldMAC     = 10 // authenticator list (annotated constant)
+	NumFields    = 11
+)
+
+// Protocol constants mirrored in the models.
+const (
+	TagRequest = 1
+	MsgSize    = 44
+	CmdLen     = 2
+	NumClients = 4
+	AuthConst  = 0 // the annotated authenticator value correct clients write
+)
+
+// FieldNames names the message layout for reports.
+var FieldNames = []string{
+	"tag", "extra", "size", "od", "replier", "command_size",
+	"cid", "rid", "command0", "command1", "mac",
+}
+
+// ReplicaSrc is the NL model of a PBFT primary replica handling a client
+// request up to the generation of a Pre_prepare (the §6.1 accept marker).
+const ReplicaSrc = `
+const REQUEST = 1;
+const MSGSIZE = 44;
+const CMDLEN = 2;
+const NCLIENTS = 4;
+var msg [11]int;
+
+func main() {
+	recv(msg);
+	if msg[0] != REQUEST { reject(); }
+	if msg[2] != MSGSIZE { reject(); }
+	if msg[3] != 0 { reject(); }
+	if msg[5] != CMDLEN { reject(); }
+	if msg[6] < 0 { reject(); }
+	if msg[6] >= NCLIENTS { reject(); }
+	// Duplicate/ordering bookkeeping, over-approximated with symbolic
+	// local state: the last request id seen from this client.
+	var last int = symbolic();
+	if msg[7] <= last { reject(); }
+	// Read-only requests are executed tentatively right away.
+	if msg[1] == 1 { accept(); }
+	if msg[1] != 0 { reject(); }
+	// VULNERABILITY: the authenticator (msg[10]) is never verified before
+	// the Pre_prepare is generated - the PBFT MAC attack.
+	accept();
+}`
+
+// ClientSrc is the NL model of a correct PBFT client issuing one request.
+const ClientSrc = `
+const REQUEST = 1;
+const MSGSIZE = 44;
+const CMDLEN = 2;
+const NCLIENTS = 4;
+var msg [11]int;
+
+func main() {
+	var cid int = input();
+	assume(cid >= 0);
+	assume(cid < NCLIENTS);
+	var readonly int = input();
+	var replier int = input();
+	var rid int = symbolic();
+	var c0 int = input();
+	var c1 int = input();
+	msg[0] = REQUEST;
+	if readonly == 0 {
+		msg[1] = 0;
+	} else {
+		msg[1] = 1;
+	}
+	msg[2] = MSGSIZE;
+	msg[3] = 0;
+	msg[4] = replier;
+	msg[5] = CMDLEN;
+	msg[6] = cid;
+	msg[7] = rid;
+	msg[8] = c0;
+	msg[9] = c1;
+	msg[10] = 0;
+	send(msg);
+	exit();
+}`
+
+// FixedReplicaSrc verifies the authenticator before accepting, closing the
+// MAC attack.
+const FixedReplicaSrc = `
+const REQUEST = 1;
+const MSGSIZE = 44;
+const CMDLEN = 2;
+const NCLIENTS = 4;
+var msg [11]int;
+
+func main() {
+	recv(msg);
+	if msg[0] != REQUEST { reject(); }
+	if msg[2] != MSGSIZE { reject(); }
+	if msg[3] != 0 { reject(); }
+	if msg[5] != CMDLEN { reject(); }
+	if msg[6] < 0 { reject(); }
+	if msg[6] >= NCLIENTS { reject(); }
+	var last int = symbolic();
+	if msg[7] <= last { reject(); }
+	// Fixed: verify the (annotated) authenticator first.
+	if msg[10] != 0 { reject(); }
+	if msg[1] == 1 { accept(); }
+	if msg[1] != 0 { reject(); }
+	accept();
+}`
+
+// ReplicaUnit compiles the vulnerable replica model.
+func ReplicaUnit() *lang.Unit { return lang.MustCompile(ReplicaSrc) }
+
+// NewTarget builds the Achilles target for the vulnerable replica. The
+// server's symbolic() local state is replayed concretely with last = -1
+// ("no previous request") during Trojan example verification.
+func NewTarget() core.Target {
+	return core.Target{
+		Name:       "pbft",
+		Server:     ReplicaUnit(),
+		Clients:    []core.ClientProgram{{Name: "pbft-client", Unit: lang.MustCompile(ClientSrc)}},
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{Inputs: []int64{-1}},
+	}
+}
+
+// NewFixedTarget builds the target for the patched replica.
+func NewFixedTarget() core.Target {
+	return core.Target{
+		Name:       "pbft-fixed",
+		Server:     lang.MustCompile(FixedReplicaSrc),
+		Clients:    []core.ClientProgram{{Name: "pbft-client", Unit: lang.MustCompile(ClientSrc)}},
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{Inputs: []int64{-1}},
+	}
+}
+
+// ValidRequest builds a correct client request.
+func ValidRequest(cid, rid int64, readonly bool, cmd0, cmd1 int64) []int64 {
+	extra := int64(0)
+	if readonly {
+		extra = 1
+	}
+	return []int64{TagRequest, extra, MsgSize, 0, 0, CmdLen, cid, rid, cmd0, cmd1, AuthConst}
+}
+
+// IsTrojan is the ground-truth oracle: an accepted request with a corrupted
+// authenticator (the only field the replica fails to validate).
+func IsTrojan(msg []int64) bool {
+	return AcceptsAssumingFreshRID(msg) && msg[FieldMAC] != AuthConst
+}
+
+// AcceptsAssumingFreshRID mirrors the replica model's accept condition with
+// the local state fixed to "no previous request from this client".
+func AcceptsAssumingFreshRID(msg []int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldTag] != TagRequest || msg[FieldSize] != MsgSize ||
+		msg[FieldOD] != 0 || msg[FieldCmdSize] != CmdLen {
+		return false
+	}
+	if msg[FieldCID] < 0 || msg[FieldCID] >= NumClients {
+		return false
+	}
+	if msg[FieldRID] <= -1 {
+		return false
+	}
+	return msg[FieldExtra] == 0 || msg[FieldExtra] == 1
+}

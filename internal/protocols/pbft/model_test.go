@@ -1,0 +1,122 @@
+package pbft
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/expr"
+	"achilles/internal/solver"
+)
+
+// TestMACAttackRediscovered reproduces the §6.2/§6.3 PBFT result: Achilles
+// finds a single type of Trojan message — requests with corrupted
+// authenticators — and it appears on every accepting replica path, bundled
+// with valid messages.
+func TestMACAttackRediscovered(t *testing.T) {
+	run, err := core.Run(NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run.Analysis
+	if len(res.Trojans) == 0 {
+		t.Fatal("MAC attack not rediscovered")
+	}
+	// Every accepting path must report the Trojan (the paper: "the Trojan
+	// message appears on all execution paths in the server").
+	if res.AcceptingStates != len(res.Trojans) {
+		t.Fatalf("accepting paths = %d, trojan reports = %d: MAC trojan must be on every path",
+			res.AcceptingStates, len(res.Trojans))
+	}
+	s := solver.Default()
+	mac := expr.Var(run.Clients.MsgVarName(FieldMAC))
+	for _, tr := range res.Trojans {
+		// The single Trojan type: the class must FORCE a corrupted MAC
+		// (witness ∧ mac == AuthConst is unsat).
+		q := []*expr.Expr{tr.Witness, expr.Eq(mac, expr.Const(AuthConst))}
+		if r, _ := s.Check(q); r != solver.Unsat {
+			t.Errorf("trojan %d admits a correct authenticator — not the MAC class", tr.Index)
+		}
+		if tr.Concrete[FieldMAC] == AuthConst {
+			t.Errorf("trojan %d example has a valid MAC: %v", tr.Index, tr.Concrete)
+		}
+		if !IsTrojan(tr.Concrete) {
+			t.Errorf("trojan %d example fails the oracle: %v", tr.Index, tr.Concrete)
+		}
+		if !tr.VerifiedAccept {
+			t.Errorf("trojan %d example not accepted on concrete replay", tr.Index)
+		}
+		if !tr.VerifiedNotClient {
+			t.Errorf("trojan %d example generatable by the client", tr.Index)
+		}
+		// Bundled with valid messages: the same server path also accepts
+		// client-generatable messages (live set non-empty).
+		if len(tr.LiveClients) == 0 {
+			t.Errorf("trojan %d: no valid messages share the path — should be bundled", tr.Index)
+		}
+	}
+}
+
+// TestFixedReplicaClean: verifying the authenticator closes the only hole.
+func TestFixedReplicaClean(t *testing.T) {
+	run, err := core.Run(NewFixedTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(run.Analysis.Trojans); n != 0 {
+		t.Fatalf("fixed replica reported %d Trojans: %v", n, run.Analysis.Trojans)
+	}
+}
+
+// TestAnalysisIsFast: the paper notes the PBFT analysis completes in
+// seconds due to the simplicity of the replica's checks; here it must be
+// well under a second.
+func TestAnalysisIsFast(t *testing.T) {
+	run, err := core.Run(NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Total().Seconds() > 5 {
+		t.Fatalf("PBFT analysis took %v; expected seconds at most", run.Total())
+	}
+}
+
+func TestClientPredicateShape(t *testing.T) {
+	tgt := NewTarget()
+	pc, err := core.ExtractClientPredicate(tgt.Clients, core.ExtractOptions{FieldNames: FieldNames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two client paths: read-only and regular.
+	if len(pc.Paths) != 2 {
+		t.Fatalf("client paths = %d, want 2", len(pc.Paths))
+	}
+	for _, p := range pc.Paths {
+		if !p.Fields[FieldMAC].IsConst() || p.Fields[FieldMAC].Val != AuthConst {
+			t.Errorf("client MAC field must be the annotated constant, got %s", p.Fields[FieldMAC])
+		}
+		if !p.Fields[FieldTag].IsConst() || p.Fields[FieldTag].Val != TagRequest {
+			t.Errorf("tag field = %s", p.Fields[FieldTag])
+		}
+	}
+}
+
+func TestOracles(t *testing.T) {
+	valid := ValidRequest(2, 9, false, 5, 6)
+	if !AcceptsAssumingFreshRID(valid) {
+		t.Fatal("valid request rejected")
+	}
+	if IsTrojan(valid) {
+		t.Fatal("valid request misclassified")
+	}
+	bad := append([]int64{}, valid...)
+	bad[FieldMAC] = 99
+	if !IsTrojan(bad) {
+		t.Fatal("corrupted-MAC request must be Trojan")
+	}
+	unknown := append([]int64{}, valid...)
+	unknown[FieldCID] = 77
+	unknown[FieldMAC] = 99
+	if IsTrojan(unknown) {
+		t.Fatal("rejected request cannot be Trojan")
+	}
+}

@@ -1,0 +1,227 @@
+package solver
+
+import (
+	"fmt"
+	"strings"
+
+	"achilles/internal/expr"
+)
+
+// linOp is the normalised comparison operator of a linear atom.
+type linOp uint8
+
+const (
+	opLe linOp = iota // sum + c <= 0
+	opEq              // sum + c == 0
+	opNe              // sum + c != 0
+)
+
+// linAtom is a comparison normalised to  Σ coeffs[i]·vars[i] + c  OP  0.
+// vars holds unique names; coeffs are the folded coefficients.
+type linAtom struct {
+	op     linOp
+	vars   []string
+	coeffs []int64
+	c      int64
+	orig   *expr.Expr
+}
+
+// linearise converts a comparison expression into a linear atom. It returns
+// false when the expression is not a comparison or contains non-linear
+// arithmetic (division, remainder, variable products).
+func linearise(e *expr.Expr) (*linAtom, bool) {
+	switch e.Kind {
+	case expr.KEq, expr.KNe, expr.KLt, expr.KLe, expr.KGt, expr.KGe:
+	default:
+		return nil, false
+	}
+	acc := map[string]int64{}
+	c := int64(0)
+	if !collectLinear(e.Args[0], 1, acc, &c) {
+		return nil, false
+	}
+	if !collectLinear(e.Args[1], -1, acc, &c) {
+		return nil, false
+	}
+	la := &linAtom{orig: e}
+	switch e.Kind {
+	case expr.KEq:
+		la.op = opEq
+	case expr.KNe:
+		la.op = opNe
+	case expr.KLe:
+		la.op = opLe
+	case expr.KLt:
+		la.op = opLe
+		c = satAdd(c, 1) // a < 0  <=>  a + 1 <= 0 over the integers
+	case expr.KGe:
+		la.op = opLe
+		negateAcc(acc)
+		c = satNeg(c)
+	case expr.KGt:
+		la.op = opLe
+		negateAcc(acc)
+		c = satAdd(satNeg(c), 1)
+	}
+	la.c = c
+	// Deterministic ordering: the expression's variable order is stable
+	// because expr.Vars sorts names.
+	for _, v := range expr.Vars(e) {
+		if acc[v] != 0 {
+			la.vars = append(la.vars, v)
+			la.coeffs = append(la.coeffs, acc[v])
+		}
+	}
+	return la, true
+}
+
+func negateAcc(acc map[string]int64) {
+	for k, v := range acc {
+		acc[k] = satNeg(v)
+	}
+}
+
+// key returns a canonical fingerprint of the atom's linear combination
+// (variables and coefficients, excluding the constant and operator), plus
+// whether the stored form is negated relative to the canonical orientation.
+// Canonical orientation: the first coefficient is positive.
+func (la *linAtom) key() (string, bool) {
+	if len(la.vars) == 0 {
+		return "", false
+	}
+	negated := la.coeffs[0] < 0
+	var b strings.Builder
+	for i, v := range la.vars {
+		c := la.coeffs[i]
+		if negated {
+			c = satNeg(c)
+		}
+		fmt.Fprintf(&b, "%s*%d;", v, c)
+	}
+	return b.String(), negated
+}
+
+// orientedC returns the atom's constant in canonical orientation.
+func (la *linAtom) orientedC(negated bool) int64 {
+	if negated {
+		return satNeg(la.c)
+	}
+	return la.c
+}
+
+// linearConflict detects contradictions between pairs of linear atoms over
+// the same combination of variables — cases interval propagation cannot see
+// when the variables are individually unbounded, e.g.
+//
+//	x - y == 0  ∧  x - y != 0          (complement pair)
+//	x - y == 1  ∧  x - y == 2          (distinct equalities)
+//	x - y <= -1 ∧  y - x <= 0          (empty band)
+//
+// These shapes dominate Achilles' Trojan queries over shared state.
+func linearConflict(atoms []*linAtom) bool {
+	type info struct {
+		eqSet  map[int64]bool // S + c == 0 seen
+		neSet  map[int64]bool // S + c != 0 seen
+		leMin  int64          // tightest S <= -c  =>  upper bound of S
+		hasLe  bool
+		geMax  int64 // from negated-orientation Le: lower bound of S
+		hasGe  bool
+		eqOnce bool
+		eqC    int64
+	}
+	m := map[string]*info{}
+	get := func(k string) *info {
+		if v, ok := m[k]; ok {
+			return v
+		}
+		v := &info{eqSet: map[int64]bool{}, neSet: map[int64]bool{}}
+		m[k] = v
+		return v
+	}
+	for _, a := range atoms {
+		k, neg := a.key()
+		if k == "" {
+			continue
+		}
+		in := get(k)
+		c := a.orientedC(neg)
+		switch a.op {
+		case opEq:
+			if in.neSet[c] {
+				return true
+			}
+			if in.eqOnce && in.eqC != c {
+				return true
+			}
+			in.eqOnce, in.eqC = true, c
+			in.eqSet[c] = true
+			if in.hasLe && satNeg(c) > in.leMin {
+				return true
+			}
+			if in.hasGe && satNeg(c) < in.geMax {
+				return true
+			}
+		case opNe:
+			if in.eqSet[c] {
+				return true
+			}
+			in.neSet[c] = true
+		case opLe:
+			// Stored: Σ coeff·x + a.c <= 0. In canonical orientation S:
+			// if not negated: S <= -c (upper bound); else -S + |c|... the
+			// orientation flip turns it into a lower bound: S >= c'.
+			if !neg {
+				ub := satNeg(a.c)
+				if !in.hasLe || ub < in.leMin {
+					in.hasLe, in.leMin = true, ub
+				}
+			} else {
+				// Original: (-S) + a.c <= 0  =>  S >= a.c.
+				lb := a.c
+				if !in.hasGe || lb > in.geMax {
+					in.hasGe, in.geMax = true, lb
+				}
+			}
+			if in.hasLe && in.hasGe && in.geMax > in.leMin {
+				return true
+			}
+			if in.eqOnce && in.hasLe && satNeg(in.eqC) > in.leMin {
+				return true
+			}
+			if in.eqOnce && in.hasGe && satNeg(in.eqC) < in.geMax {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectLinear accumulates sign*e into acc/c, returning false on non-linear
+// structure.
+func collectLinear(e *expr.Expr, sign int64, acc map[string]int64, c *int64) bool {
+	switch e.Kind {
+	case expr.KConst:
+		*c = satAdd(*c, satMul(sign, e.Val))
+		return true
+	case expr.KVar:
+		acc[e.Name] = satAdd(acc[e.Name], sign)
+		return true
+	case expr.KNeg:
+		return collectLinear(e.Args[0], satNeg(sign), acc, c)
+	case expr.KAdd:
+		return collectLinear(e.Args[0], sign, acc, c) && collectLinear(e.Args[1], sign, acc, c)
+	case expr.KSub:
+		return collectLinear(e.Args[0], sign, acc, c) && collectLinear(e.Args[1], satNeg(sign), acc, c)
+	case expr.KMul:
+		a, b := e.Args[0], e.Args[1]
+		if a.IsConst() {
+			return collectLinear(b, satMul(sign, a.Val), acc, c)
+		}
+		if b.IsConst() {
+			return collectLinear(a, satMul(sign, b.Val), acc, c)
+		}
+		return false
+	default:
+		return false
+	}
+}

@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"achilles/internal/expr"
+)
+
+// The property tests compare the solver against a brute-force oracle on
+// randomly generated constraint systems whose variables are explicitly
+// bounded to a small box, so exhaustive enumeration of the box is the ground
+// truth.
+
+const quickBound = 4 // variables range over [-4, 4]
+
+var quickVars = []string{"p", "q", "r"}
+
+func genLinExpr(rnd *rand.Rand, depth int) *expr.Expr {
+	if depth <= 0 || rnd.Intn(3) == 0 {
+		if rnd.Intn(2) == 0 {
+			return expr.Const(int64(rnd.Intn(9) - 4))
+		}
+		return expr.Var(quickVars[rnd.Intn(len(quickVars))])
+	}
+	switch rnd.Intn(4) {
+	case 0:
+		return expr.Add(genLinExpr(rnd, depth-1), genLinExpr(rnd, depth-1))
+	case 1:
+		return expr.Sub(genLinExpr(rnd, depth-1), genLinExpr(rnd, depth-1))
+	case 2:
+		return expr.Mul(expr.Const(int64(rnd.Intn(5)-2)), genLinExpr(rnd, depth-1))
+	default:
+		return expr.Neg(genLinExpr(rnd, depth-1))
+	}
+}
+
+func genAtom(rnd *rand.Rand) *expr.Expr {
+	l := genLinExpr(rnd, 2)
+	r := genLinExpr(rnd, 2)
+	switch rnd.Intn(6) {
+	case 0:
+		return expr.Eq(l, r)
+	case 1:
+		return expr.Ne(l, r)
+	case 2:
+		return expr.Lt(l, r)
+	case 3:
+		return expr.Le(l, r)
+	case 4:
+		return expr.Gt(l, r)
+	default:
+		return expr.Ge(l, r)
+	}
+}
+
+// genSystem produces a random constraint system including box bounds.
+func genSystem(rnd *rand.Rand) []*expr.Expr {
+	var cs []*expr.Expr
+	for _, name := range quickVars {
+		v := expr.Var(name)
+		cs = append(cs, expr.Ge(v, expr.Const(-quickBound)), expr.Le(v, expr.Const(quickBound)))
+	}
+	n := 1 + rnd.Intn(4)
+	for i := 0; i < n; i++ {
+		a := genAtom(rnd)
+		if rnd.Intn(3) == 0 { // sometimes a disjunction
+			a = expr.Or(a, genAtom(rnd))
+		}
+		cs = append(cs, a)
+	}
+	return cs
+}
+
+// bruteForce enumerates the whole box.
+func bruteForce(cs []*expr.Expr) bool {
+	env := expr.Env{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(quickVars) {
+			for _, e := range cs {
+				ok, err := expr.EvalBool(e, env)
+				if err != nil || !ok {
+					return false
+				}
+			}
+			return true
+		}
+		for v := int64(-quickBound); v <= quickBound; v++ {
+			env[quickVars[i]] = v
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// TestQuickAgainstBruteForce: the solver and the oracle agree on random
+// bounded systems, and all Sat models verify.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	s := Default()
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		cs := genSystem(rnd)
+		want := bruteForce(cs)
+		res, model := s.Check(cs)
+		if res == Unknown {
+			t.Logf("unexpected unknown on bounded box: %v", cs)
+			return false
+		}
+		got := res == Sat
+		if got != want {
+			t.Logf("solver=%v oracle=%v for %v", res, want, cs)
+			return false
+		}
+		if got {
+			for _, e := range cs {
+				ok, err := expr.EvalBool(e, model)
+				if err != nil || !ok {
+					t.Logf("bad model %v for %v", model, cs)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegationConsistency: a system and its pointwise negation cannot
+// both be unsat when the box is nonempty (at least one of C, ¬C holds at any
+// point — weaker check: sat(C) or sat(!C) for single atoms).
+func TestQuickNegationConsistency(t *testing.T) {
+	s := Default()
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		atom := genAtom(rnd)
+		var bounds []*expr.Expr
+		for _, name := range quickVars {
+			v := expr.Var(name)
+			bounds = append(bounds, expr.Ge(v, expr.Const(-quickBound)), expr.Le(v, expr.Const(quickBound)))
+		}
+		r1, _ := s.Check(append(append([]*expr.Expr{}, bounds...), atom))
+		r2, _ := s.Check(append(append([]*expr.Expr{}, bounds...), expr.Not(atom)))
+		// Both unsat would be a soundness bug.
+		return !(r1 == Unsat && r2 == Unsat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

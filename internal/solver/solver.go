@@ -1,0 +1,652 @@
+// Package solver implements the SMT-lite decision procedure Achilles uses in
+// place of the STP/Z3 solvers from the paper.
+//
+// The solver decides satisfiability of conjunctions of boolean expressions
+// over 64-bit integers. The fragment it targets is the one the Achilles
+// pipeline produces: linear (in)equalities and disequalities over message
+// fields and client inputs, combined with the small disjunctions produced by
+// the negate operator. Non-linear atoms (division, remainder, products of
+// variables) are supported through bounded enumeration and final-model
+// verification rather than propagation.
+//
+// The procedure is:
+//
+//  1. flatten the query into conjunctive atoms and disjunctions,
+//  2. DPLL-style splitting over disjunctions,
+//  3. for pure conjunctions: interval-domain propagation over the linear
+//     atoms (including back-substitution through equalities, which solves
+//     checksum chains directly), then
+//  4. systematic search that enumerates the smallest domain first, falling
+//     back to boundary-value heuristics when a domain is too large to
+//     enumerate.
+//
+// Every Sat answer carries a model that has been re-verified by evaluating
+// all original constraints, so Sat results are sound unconditionally. Unsat
+// answers are sound because enumeration is exhaustive whenever domains are
+// finite and within budget; otherwise the solver answers Unknown, mirroring
+// how the paper treats Z3's quantifier-heuristic failures (§3.2).
+package solver
+
+import (
+	"fmt"
+
+	"achilles/internal/expr"
+)
+
+// Result is the outcome of a satisfiability check.
+type Result int
+
+const (
+	// Unsat means no assignment satisfies the constraints.
+	Unsat Result = iota
+	// Sat means a verified model was found.
+	Sat
+	// Unknown means the search budget was exhausted or the constraints left
+	// a domain too large to enumerate.
+	Unknown
+)
+
+// String returns "unsat", "sat" or "unknown".
+func (r Result) String() string {
+	switch r {
+	case Unsat:
+		return "unsat"
+	case Sat:
+		return "sat"
+	default:
+		return "unknown"
+	}
+}
+
+// Stats accumulates counters across queries; read them for the evaluation
+// harness, reset them with Reset.
+type Stats struct {
+	Queries      int // Check calls
+	Decisions    int // variable assignments tried
+	Propagations int // domain-tightening steps
+	Splits       int // disjunction branches explored
+	Verified     int // full models verified
+	Unknowns     int // queries answered Unknown
+}
+
+// Options configure a Solver.
+type Options struct {
+	// MaxDecisions bounds the total assignments tried per query before the
+	// solver answers Unknown. Zero means the default (200000).
+	MaxDecisions int
+	// MaxEnumDomain is the largest domain size that is exhaustively
+	// enumerated; larger domains use boundary heuristics only. Zero means
+	// the default (1 << 16).
+	MaxEnumDomain int64
+}
+
+// Solver decides satisfiability of constraint conjunctions. A Solver may be
+// reused across queries; it is not safe for concurrent use.
+type Solver struct {
+	opts  Options
+	stats Stats
+}
+
+// New returns a Solver with the given options.
+func New(opts Options) *Solver {
+	if opts.MaxDecisions == 0 {
+		opts.MaxDecisions = 200000
+	}
+	if opts.MaxEnumDomain == 0 {
+		opts.MaxEnumDomain = 1 << 16
+	}
+	return &Solver{opts: opts}
+}
+
+// Default returns a solver with default options.
+func Default() *Solver { return New(Options{}) }
+
+// Stats returns a copy of the accumulated statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the statistics counters.
+func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// satLimit is the saturation bound for interval arithmetic: all domain
+// endpoints are clamped to [-satLimit, satLimit] so bound computation cannot
+// overflow int64.
+const satLimit = int64(1) << 62
+
+// Check decides the conjunction of the given constraints. On Sat, the
+// returned model assigns every variable occurring in the constraints and has
+// been verified by evaluation.
+func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
+	s.stats.Queries++
+	var conj []*expr.Expr
+	var disj []*expr.Expr
+	for _, c := range constraints {
+		if !flatten(c, &conj, &disj) {
+			return Unsat, nil
+		}
+	}
+	budget := s.opts.MaxDecisions
+	res, model := s.solve(conj, disj, &budget)
+	if res == Unknown {
+		s.stats.Unknowns++
+	}
+	return res, model
+}
+
+// CheckExpr decides a single (possibly compound) boolean expression.
+func (s *Solver) CheckExpr(e *expr.Expr) (Result, expr.Env) {
+	return s.Check([]*expr.Expr{e})
+}
+
+// flatten splits e into conjunctive atoms (comparisons, non-linear leaves)
+// and disjunction atoms. It returns false if a literal false was found.
+func flatten(e *expr.Expr, conj, disj *[]*expr.Expr) bool {
+	switch e.Kind {
+	case expr.KBool:
+		return e.Val != 0
+	case expr.KAnd:
+		return flatten(e.Args[0], conj, disj) && flatten(e.Args[1], conj, disj)
+	case expr.KOr:
+		*disj = append(*disj, e)
+		return true
+	default:
+		*conj = append(*conj, e)
+		return true
+	}
+}
+
+// disjuncts expands an Or tree into its top-level disjuncts.
+func disjuncts(e *expr.Expr, out *[]*expr.Expr) {
+	if e.Kind == expr.KOr {
+		disjuncts(e.Args[0], out)
+		disjuncts(e.Args[1], out)
+		return
+	}
+	*out = append(*out, e)
+}
+
+// solve handles DPLL splitting over the disjunctions, then delegates pure
+// conjunctions to solveConj.
+func (s *Solver) solve(conj, disj []*expr.Expr, budget *int) (Result, expr.Env) {
+	if len(disj) == 0 {
+		return s.solveConj(conj, budget)
+	}
+	// Split on the first disjunction; propagation inside solveConj will
+	// quickly kill infeasible branches.
+	d := disj[0]
+	rest := disj[1:]
+	var parts []*expr.Expr
+	disjuncts(d, &parts)
+	sawUnknown := false
+	for _, p := range parts {
+		if *budget <= 0 {
+			return Unknown, nil
+		}
+		s.stats.Splits++
+		subConj := append([]*expr.Expr{}, conj...)
+		subDisj := append([]*expr.Expr{}, rest...)
+		if !flatten(p, &subConj, &subDisj) {
+			continue
+		}
+		res, model := s.solve(subConj, subDisj, budget)
+		switch res {
+		case Sat:
+			return Sat, model
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown, nil
+	}
+	return Unsat, nil
+}
+
+// interval is an inclusive integer range.
+type interval struct {
+	lo, hi int64
+}
+
+func (iv interval) empty() bool           { return iv.lo > iv.hi }
+func (iv interval) point() bool           { return iv.lo == iv.hi }
+func (iv interval) size() int64           { return satAdd(satSub(iv.hi, iv.lo), 1) }
+func (iv interval) contains(v int64) bool { return v >= iv.lo && v <= iv.hi }
+
+func satAdd(a, b int64) int64 {
+	c := a + b
+	if (b > 0 && c < a) || (b < 0 && c > a) {
+		if b > 0 {
+			return satLimit
+		}
+		return -satLimit
+	}
+	return clamp(c)
+}
+
+func satSub(a, b int64) int64 { return satAdd(a, satNeg(b)) }
+
+func satNeg(a int64) int64 {
+	if a == -satLimit || a == satLimit {
+		return -a
+	}
+	return clamp(-a)
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	c := a * b
+	if c/b != a || c > satLimit || c < -satLimit {
+		if (a > 0) == (b > 0) {
+			return satLimit
+		}
+		return -satLimit
+	}
+	return c
+}
+
+func clamp(v int64) int64 {
+	if v > satLimit {
+		return satLimit
+	}
+	if v < -satLimit {
+		return -satLimit
+	}
+	return v
+}
+
+// conjState is the mutable state of a conjunction search.
+type conjState struct {
+	atoms    []*linAtom          // linearised atoms
+	nonlin   []*expr.Expr        // atoms outside the linear fragment
+	domains  map[string]interval // current variable domains
+	assigned expr.Env            // fixed variables
+	orig     []*expr.Expr        // original atoms for final verification
+	varOrder []string            // deterministic variable ordering
+}
+
+func (cs *conjState) clone() *conjState {
+	nd := make(map[string]interval, len(cs.domains))
+	for k, v := range cs.domains {
+		nd[k] = v
+	}
+	na := make(expr.Env, len(cs.assigned))
+	for k, v := range cs.assigned {
+		na[k] = v
+	}
+	return &conjState{
+		atoms:    cs.atoms, // immutable after build
+		nonlin:   cs.nonlin,
+		domains:  nd,
+		assigned: na,
+		orig:     cs.orig,
+		varOrder: cs.varOrder,
+	}
+}
+
+// solveConj decides a pure conjunction of atoms.
+func (s *Solver) solveConj(atoms []*expr.Expr, budget *int) (Result, expr.Env) {
+	cs := &conjState{
+		domains:  map[string]interval{},
+		assigned: expr.Env{},
+		orig:     atoms,
+	}
+	for _, a := range atoms {
+		la, ok := linearise(a)
+		if ok {
+			cs.atoms = append(cs.atoms, la)
+		} else {
+			cs.nonlin = append(cs.nonlin, a)
+		}
+	}
+	vars := expr.VarsOf(atoms)
+	cs.varOrder = vars
+	for _, v := range vars {
+		cs.domains[v] = interval{-satLimit, satLimit}
+	}
+	if linearConflict(cs.atoms) {
+		return Unsat, nil
+	}
+	if !s.propagate(cs) {
+		return Unsat, nil
+	}
+	return s.search(cs, budget)
+}
+
+// propagate runs domain tightening to a fixpoint (bounded rounds). It
+// returns false when a domain became empty (conflict).
+func (s *Solver) propagate(cs *conjState) bool {
+	const maxRounds = 64
+	for round := 0; round < maxRounds; round++ {
+		changed := false
+		for _, a := range cs.atoms {
+			ok, ch := s.propagateAtom(cs, a)
+			if !ok {
+				return false
+			}
+			changed = changed || ch
+		}
+		// Try to finish non-linear atoms that became concrete.
+		for _, nl := range cs.nonlin {
+			if v, err := expr.EvalBool(nl, fullEnvFor(nl, cs)); err == nil && !v {
+				return false
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return true
+}
+
+// fullEnvFor returns an environment covering nl's variables if every one of
+// them is pinned to a point domain; otherwise nil (EvalBool will error on the
+// unbound variable, which callers treat as "not decidable yet").
+func fullEnvFor(nl *expr.Expr, cs *conjState) expr.Env {
+	env := expr.Env{}
+	set := map[string]bool{}
+	expr.CollectVars(nl, set)
+	for v := range set {
+		if x, ok := cs.assigned[v]; ok {
+			env[v] = x
+			continue
+		}
+		d := cs.domains[v]
+		if !d.point() {
+			return nil
+		}
+		env[v] = d.lo
+	}
+	return env
+}
+
+// domainOf returns the current interval of v, treating assignments as point
+// domains.
+func (cs *conjState) domainOf(v string) interval {
+	if x, ok := cs.assigned[v]; ok {
+		return interval{x, x}
+	}
+	return cs.domains[v]
+}
+
+// setDomain narrows the domain of v, reporting (ok, changed).
+func (cs *conjState) setDomain(v string, iv interval) (bool, bool) {
+	cur := cs.domainOf(v)
+	nlo, nhi := cur.lo, cur.hi
+	if iv.lo > nlo {
+		nlo = iv.lo
+	}
+	if iv.hi < nhi {
+		nhi = iv.hi
+	}
+	if nlo > nhi {
+		return false, true
+	}
+	if nlo == cur.lo && nhi == cur.hi {
+		return true, false
+	}
+	cs.domains[v] = interval{nlo, nhi}
+	return true, true
+}
+
+// propagateAtom tightens domains using one linear atom.
+// Atom form: sum(coeff_i * x_i) + c  OP  0 with OP in {<=, ==, !=}.
+func (s *Solver) propagateAtom(cs *conjState, a *linAtom) (ok, changed bool) {
+	s.stats.Propagations++
+	// Partition into assigned and free, folding assigned values into c.
+	c := a.c
+	type term struct {
+		v     string
+		coeff int64
+	}
+	var free []term
+	for i, v := range a.vars {
+		if x, okA := cs.assigned[v]; okA {
+			c = satAdd(c, satMul(a.coeffs[i], x))
+			continue
+		}
+		d := cs.domains[v]
+		if d.point() {
+			c = satAdd(c, satMul(a.coeffs[i], d.lo))
+			continue
+		}
+		free = append(free, term{v, a.coeffs[i]})
+	}
+	if len(free) == 0 {
+		switch a.op {
+		case opLe:
+			return c <= 0, false
+		case opEq:
+			return c == 0, false
+		case opNe:
+			return c != 0, false
+		}
+	}
+	// Bounds of the free part. othersBounds(skip) recomputes the bounds of
+	// c + Σ_{u≠skip} coeff_u·x_u from scratch: subtracting a term from a
+	// *saturated* total would silently widen or corrupt the bound, so per-
+	// target bounds are never derived from the totals.
+	othersBounds := func(skip int) (lo, hi int64) {
+		lo, hi = c, c
+		for j, t := range free {
+			if j == skip {
+				continue
+			}
+			d := cs.domains[t.v]
+			p1, p2 := satMul(t.coeff, d.lo), satMul(t.coeff, d.hi)
+			if p1 > p2 {
+				p1, p2 = p2, p1
+			}
+			lo = satAdd(lo, p1)
+			hi = satAdd(hi, p2)
+		}
+		return lo, hi
+	}
+	sumLo, sumHi := othersBounds(-1)
+	switch a.op {
+	case opNe:
+		// Only useful when a single free var with unit coefficient and the
+		// excluded value sits on a domain boundary.
+		if len(free) == 1 && (free[0].coeff == 1 || free[0].coeff == -1) {
+			// coeff*x + c != 0 => x != -c/coeff
+			excl := satNeg(c)
+			if free[0].coeff == -1 {
+				excl = c
+			}
+			d := cs.domains[free[0].v]
+			if d.point() && d.lo == excl {
+				return false, true
+			}
+			if d.lo == excl {
+				okSet, ch := cs.setDomain(free[0].v, interval{excl + 1, d.hi})
+				return okSet, ch
+			}
+			if d.hi == excl {
+				okSet, ch := cs.setDomain(free[0].v, interval{d.lo, excl - 1})
+				return okSet, ch
+			}
+		}
+		return true, false
+	case opLe:
+		if sumLo > 0 {
+			return false, true
+		}
+		// Tighten each free var: coeff*x <= -(c + others)
+		for i, t := range free {
+			othersLo, _ := othersBounds(i)
+			bound := satNeg(othersLo) // coeff*x <= bound
+			var iv interval
+			if t.coeff > 0 {
+				iv = interval{-satLimit, floorDiv(bound, t.coeff)}
+			} else {
+				iv = interval{ceilDiv(bound, t.coeff), satLimit}
+			}
+			okSet, ch := cs.setDomain(t.v, iv)
+			if !okSet {
+				return false, true
+			}
+			changed = changed || ch
+		}
+		return true, changed
+	case opEq:
+		if sumLo > 0 || sumHi < 0 {
+			return false, true
+		}
+		for i, t := range free {
+			othersLo, othersHi := othersBounds(i)
+			// coeff*x = -(c + others) => bounds from others' range.
+			vLo := satNeg(othersHi)
+			vHi := satNeg(othersLo)
+			var iv interval
+			if t.coeff == 1 {
+				iv = interval{vLo, vHi}
+			} else if t.coeff == -1 {
+				iv = interval{satNeg(vHi), satNeg(vLo)}
+			} else if t.coeff > 0 {
+				iv = interval{ceilDiv(vLo, t.coeff), floorDiv(vHi, t.coeff)}
+			} else {
+				iv = interval{ceilDiv(vHi, t.coeff), floorDiv(vLo, t.coeff)}
+			}
+			okSet, ch := cs.setDomain(t.v, iv)
+			if !okSet {
+				return false, true
+			}
+			changed = changed || ch
+		}
+		return true, changed
+	}
+	return true, false
+}
+
+// floorDiv and ceilDiv are division rounding toward -inf / +inf.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return clamp(q)
+}
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return clamp(q)
+}
+
+// search enumerates assignments. It always verifies candidate models against
+// the original atoms before reporting Sat.
+func (s *Solver) search(cs *conjState, budget *int) (Result, expr.Env) {
+	if *budget <= 0 {
+		return Unknown, nil
+	}
+	// Choose the unassigned variable with the smallest domain.
+	bestVar := ""
+	var bestSize int64
+	for _, v := range cs.varOrder {
+		if _, done := cs.assigned[v]; done {
+			continue
+		}
+		d := cs.domains[v]
+		if d.point() {
+			cs.assigned[v] = d.lo
+			continue
+		}
+		sz := d.size()
+		if bestVar == "" || sz < bestSize {
+			bestVar, bestSize = v, sz
+		}
+	}
+	if bestVar == "" {
+		return s.finish(cs)
+	}
+	d := cs.domains[bestVar]
+	var candidates []int64
+	exhaustive := false
+	if bestSize <= s.opts.MaxEnumDomain {
+		exhaustive = true
+		for v := d.lo; v <= d.hi; v++ {
+			candidates = append(candidates, v)
+			if v == d.hi { // guard overflow when hi is MaxInt-ish
+				break
+			}
+		}
+	} else {
+		candidates = boundaryCandidates(d)
+	}
+	sawUnknown := !exhaustive
+	for _, v := range candidates {
+		if *budget <= 0 {
+			return Unknown, nil
+		}
+		*budget--
+		s.stats.Decisions++
+		child := cs.clone()
+		child.assigned[bestVar] = v
+		delete(child.domains, bestVar)
+		if !s.propagate(child) {
+			continue
+		}
+		res, model := s.search(child, budget)
+		switch res {
+		case Sat:
+			return Sat, model
+		case Unknown:
+			sawUnknown = true
+		}
+	}
+	if sawUnknown {
+		return Unknown, nil
+	}
+	return Unsat, nil
+}
+
+// boundaryCandidates picks heuristic values from a domain too large to
+// enumerate. Small magnitudes come first so that models (and therefore the
+// concrete Trojan examples shown to users) stay human-readable; the domain
+// bounds follow for constraints that force large values.
+func boundaryCandidates(d interval) []int64 {
+	raw := []int64{0, 1, -1, 2, -2, 7, 42, 100, -100, 255,
+		d.hi, d.lo, d.hi - 1, d.lo + 1, d.lo/2 + d.hi/2}
+	seen := map[int64]bool{}
+	var out []int64
+	for _, v := range raw {
+		if d.contains(v) && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// finish validates a full assignment against all original constraints.
+func (s *Solver) finish(cs *conjState) (Result, expr.Env) {
+	env := make(expr.Env, len(cs.assigned))
+	for k, v := range cs.assigned {
+		env[k] = v
+	}
+	for _, v := range cs.varOrder {
+		if _, ok := env[v]; !ok {
+			env[v] = cs.domains[v].lo
+		}
+	}
+	s.stats.Verified++
+	for _, a := range cs.orig {
+		v, err := expr.EvalBool(a, env)
+		if err != nil || !v {
+			return Unsat, nil
+		}
+	}
+	return Sat, env
+}
+
+// MustModel is a test helper: it checks the constraints and panics unless
+// they are satisfiable, returning the model.
+func (s *Solver) MustModel(constraints []*expr.Expr) expr.Env {
+	res, m := s.Check(constraints)
+	if res != Sat {
+		panic(fmt.Sprintf("solver: expected sat, got %v for %v", res, constraints))
+	}
+	return m
+}

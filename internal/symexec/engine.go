@@ -1,0 +1,701 @@
+// Package symexec implements the forking symbolic interpreter for NL
+// programs — the role S2E plays in the Achilles paper.
+//
+// The engine executes the flat IR produced by internal/lang. Execution
+// states carry a symbolic store (function frames and module globals mapping
+// to expression trees), the accumulated path constraints, and the messages
+// sent/received on the path. At every conditional branch whose condition is
+// symbolic, the engine queries the constraint solver for the feasibility of
+// both sides and forks the state when both are feasible — exactly the
+// execution model described in §3.1 of the paper.
+//
+// The same engine runs programs concretely (Options.Concrete): all inputs
+// come from provided queues, no forking occurs, and no solver is consulted.
+// The black-box fuzzing baseline and the Trojan-injection oracles reuse the
+// concrete mode, which guarantees that analysis and replay agree on the
+// program semantics.
+package symexec
+
+import (
+	"errors"
+	"fmt"
+
+	"achilles/internal/expr"
+	"achilles/internal/lang"
+	"achilles/internal/solver"
+)
+
+// Status describes how the execution of one path ended.
+type Status uint8
+
+// Path terminal statuses.
+const (
+	StatusRunning  Status = iota // still on the worklist
+	StatusAccepted               // reached accept()
+	StatusRejected               // reached reject()
+	StatusExited                 // exit(), failed assume(), or main returned
+	StatusPruned                 // discarded by a hook (no Trojan possible)
+	StatusError                  // runtime error (see State.Err)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusAccepted:
+		return "accepted"
+	case StatusRejected:
+		return "rejected"
+	case StatusExited:
+		return "exited"
+	case StatusPruned:
+		return "pruned"
+	case StatusError:
+		return "error"
+	}
+	return "status?"
+}
+
+// ArrayObj is a mutable array value. States share ArrayObjs internally;
+// forking performs an aliasing-preserving deep copy.
+type ArrayObj struct {
+	Elems []*expr.Expr
+}
+
+// Value is a scalar expression or an array reference stored in a slot.
+type Value struct {
+	Sc  *expr.Expr
+	Arr *ArrayObj
+}
+
+// Frame is one function activation.
+type Frame struct {
+	Fn        *lang.IRFunc
+	PC        int
+	Slots     []Value
+	RetDst    lang.VarRef // where the caller wants the return value
+	HasRetDst bool
+	RetReg    *expr.Expr // value produced by the last completed call
+}
+
+// SentMessage is a message captured at a send() call: the snapshot of the
+// buffer's field expressions plus the path constraints in force at the send.
+type SentMessage struct {
+	Fields []*expr.Expr
+	Path   []*expr.Expr
+}
+
+// StateData is optional analysis-specific state attached to an execution
+// state; it is cloned whenever the state forks.
+type StateData interface{ CloneData() StateData }
+
+// State is one symbolic (or concrete) execution state.
+type State struct {
+	ID      int
+	Globals []Value
+	Frames  []Frame
+	Path    []*expr.Expr // path constraints (conjunction)
+	Status  Status
+	Err     error
+
+	Sent    []SentMessage // messages sent on this path
+	MsgVars []string      // names of the symbolic message variables from recv()
+	Depth   int           // number of symbolic branch decisions on this path
+	Steps   int
+
+	Data StateData // analysis payload (cloned on fork)
+
+	inputCursor int // next index into Options.Inputs (concrete mode)
+	varCounter  int // fresh symbolic variable counter
+	msgCounter  int // recv() counter
+}
+
+// frame returns the top activation.
+func (st *State) frame() *Frame { return &st.Frames[len(st.Frames)-1] }
+
+// PathExpr returns the conjunction of the path constraints.
+func (st *State) PathExpr() *expr.Expr { return expr.AndAll(st.Path) }
+
+// Hooks intercept engine events. Any hook may be nil.
+type Hooks struct {
+	// OnBranch runs after a new symbolic branch constraint was appended to
+	// st.Path. Returning false prunes the state (StatusPruned).
+	OnBranch func(st *State, cond *expr.Expr) bool
+	// OnSend runs when a state executes send().
+	OnSend func(st *State, msg SentMessage)
+	// OnAccept runs when a state reaches accept().
+	OnAccept func(st *State)
+	// OnReject runs when a state reaches reject().
+	OnReject func(st *State)
+}
+
+// Options configure a run.
+type Options struct {
+	// Entry is the function to execute; defaults to "main".
+	Entry string
+	// MaxStates bounds the number of states explored (default 1 << 20).
+	MaxStates int
+	// MaxSteps bounds instructions per state (default 1 << 20).
+	MaxSteps int
+	// Solver decides branch feasibility; defaults to solver.Default().
+	Solver *solver.Solver
+	// Hooks intercept events.
+	Hooks Hooks
+
+	// Concrete switches to concrete execution: inputs come from Inputs and
+	// Message, branches must evaluate to constants, and no forking happens.
+	Concrete bool
+	// Inputs feeds input()/symbolic() calls in concrete mode.
+	Inputs []int64
+	// Message feeds recv() in concrete mode.
+	Message []int64
+
+	// MsgPrefix names symbolic message variables (default "m"): recv() of a
+	// k-element array yields m0 .. m{k-1}.
+	MsgPrefix string
+	// InputPrefix names symbolic input variables (default "in").
+	InputPrefix string
+
+	// GlobalConcrete pre-sets scalar globals to concrete values before the
+	// run (the paper's Concrete Local State mode, §3.4).
+	GlobalConcrete map[string]int64
+	// GlobalSymbolic pre-sets scalar globals to fresh unconstrained symbolic
+	// values (the Over-approximate Symbolic Local State mode, §3.4).
+	GlobalSymbolic []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Entry == "" {
+		o.Entry = "main"
+	}
+	if o.MaxStates == 0 {
+		o.MaxStates = 1 << 20
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 1 << 20
+	}
+	if o.Solver == nil {
+		o.Solver = solver.Default()
+	}
+	if o.MsgPrefix == "" {
+		o.MsgPrefix = "m"
+	}
+	if o.InputPrefix == "" {
+		o.InputPrefix = "in"
+	}
+	return o
+}
+
+// Stats are counters for one run.
+type Stats struct {
+	States      int // terminal states produced
+	Forks       int
+	Steps       int
+	SolverCalls int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Terminal states in completion order.
+	States []*State
+	Stats  Stats
+}
+
+// ByStatus filters terminal states.
+func (r *Result) ByStatus(s Status) []*State {
+	var out []*State
+	for _, st := range r.States {
+		if st.Status == s {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// Engine executes one compiled unit.
+type Engine struct {
+	unit *lang.Unit
+	opts Options
+	res  *Result
+	next int // state id counter
+}
+
+// New creates an engine for the unit.
+func New(unit *lang.Unit, opts Options) *Engine {
+	return &Engine{unit: unit, opts: opts.withDefaults()}
+}
+
+// Run explores the program from the entry function and returns all terminal
+// states.
+func Run(unit *lang.Unit, opts Options) (*Result, error) {
+	return New(unit, opts).Run()
+}
+
+// ErrEntryMissing is returned when the entry function does not exist.
+var ErrEntryMissing = errors.New("symexec: entry function not found")
+
+// Run performs the exploration.
+func (e *Engine) Run() (*Result, error) {
+	entry := e.unit.FuncNamed(e.opts.Entry)
+	if entry == nil {
+		return nil, fmt.Errorf("%w: %q", ErrEntryMissing, e.opts.Entry)
+	}
+	if len(entry.Params) != 0 {
+		return nil, fmt.Errorf("symexec: entry function %q must take no parameters", e.opts.Entry)
+	}
+	e.res = &Result{}
+	init := e.initialState(entry)
+	work := []*State{init}
+	for len(work) > 0 {
+		if e.res.Stats.States >= e.opts.MaxStates {
+			break
+		}
+		st := work[len(work)-1]
+		work = work[:len(work)-1]
+		for st.Status == StatusRunning {
+			child := e.step(st)
+			if child != nil {
+				work = append(work, child)
+			}
+		}
+		e.res.Stats.States++
+		e.res.States = append(e.res.States, st)
+	}
+	return e.res, nil
+}
+
+// initialState builds globals and the entry frame.
+func (e *Engine) initialState(entry *lang.IRFunc) *State {
+	st := &State{ID: e.next}
+	e.next++
+	st.Globals = make([]Value, len(e.unit.Globals))
+	for i, g := range e.unit.Globals {
+		if g.Type.Kind == lang.TypeArray {
+			arr := &ArrayObj{Elems: make([]*expr.Expr, g.Type.Len)}
+			for j := range arr.Elems {
+				arr.Elems[j] = expr.Const(0)
+			}
+			st.Globals[i] = Value{Arr: arr}
+			continue
+		}
+		st.Globals[i] = Value{Sc: expr.Const(g.Init)}
+	}
+	for name, v := range e.opts.GlobalConcrete {
+		if gi := e.unit.GlobalNamed(name); gi >= 0 {
+			st.Globals[gi] = Value{Sc: expr.Const(v)}
+		}
+	}
+	for _, name := range e.opts.GlobalSymbolic {
+		if gi := e.unit.GlobalNamed(name); gi >= 0 {
+			st.Globals[gi] = Value{Sc: expr.Var(fmt.Sprintf("state_%s", name))}
+		}
+	}
+	st.Frames = []Frame{{Fn: entry, Slots: make([]Value, entry.NumSlots)}}
+	return st
+}
+
+// fork deep-copies a state, preserving array aliasing.
+func (e *Engine) fork(st *State) *State {
+	ns := &State{
+		ID:          e.next,
+		Status:      st.Status,
+		Depth:       st.Depth,
+		Steps:       st.Steps,
+		inputCursor: st.inputCursor,
+		varCounter:  st.varCounter,
+		msgCounter:  st.msgCounter,
+	}
+	e.next++
+	seen := map[*ArrayObj]*ArrayObj{}
+	cpVal := func(v Value) Value {
+		if v.Arr == nil {
+			return v
+		}
+		if dup, ok := seen[v.Arr]; ok {
+			return Value{Arr: dup}
+		}
+		dup := &ArrayObj{Elems: append([]*expr.Expr{}, v.Arr.Elems...)}
+		seen[v.Arr] = dup
+		return Value{Arr: dup}
+	}
+	ns.Globals = make([]Value, len(st.Globals))
+	for i, v := range st.Globals {
+		ns.Globals[i] = cpVal(v)
+	}
+	ns.Frames = make([]Frame, len(st.Frames))
+	for i, fr := range st.Frames {
+		nf := fr
+		nf.Slots = make([]Value, len(fr.Slots))
+		for j, v := range fr.Slots {
+			nf.Slots[j] = cpVal(v)
+		}
+		ns.Frames[i] = nf
+	}
+	ns.Path = append([]*expr.Expr{}, st.Path...)
+	ns.Sent = append([]SentMessage{}, st.Sent...)
+	ns.MsgVars = append([]string{}, st.MsgVars...)
+	if st.Data != nil {
+		ns.Data = st.Data.CloneData()
+	}
+	e.res.Stats.Forks++
+	return ns
+}
+
+// fail marks the state as errored.
+func (e *Engine) fail(st *State, pos lang.Pos, format string, args ...any) {
+	st.Status = StatusError
+	st.Err = fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// step executes one instruction. It returns a forked sibling state to
+// enqueue, or nil.
+func (e *Engine) step(st *State) *State {
+	st.Steps++
+	e.res.Stats.Steps++
+	if st.Steps > e.opts.MaxSteps {
+		e.fail(st, lang.Pos{}, "step budget exhausted (%d); possible unbounded loop", e.opts.MaxSteps)
+		return nil
+	}
+	fr := st.frame()
+	if fr.PC >= len(fr.Code()) {
+		e.fail(st, lang.Pos{}, "pc out of range in %s", fr.Fn.Name)
+		return nil
+	}
+	in := &fr.Code()[fr.PC]
+	switch in.Op {
+	case lang.OpAssign:
+		v, err := e.eval(st, fr, in.X)
+		if err != nil {
+			e.fail(st, in.Pos, "%v", err)
+			return nil
+		}
+		e.writeVar(st, fr, in.Dst, Value{Sc: v})
+		fr.PC++
+		return nil
+
+	case lang.OpNewArr:
+		arr := &ArrayObj{Elems: make([]*expr.Expr, in.A)}
+		for i := range arr.Elems {
+			arr.Elems[i] = expr.Const(0)
+		}
+		e.writeVar(st, fr, in.Dst, Value{Arr: arr})
+		fr.PC++
+		return nil
+
+	case lang.OpStore:
+		arrV := e.readVar(st, fr, in.Dst)
+		if arrV.Arr == nil {
+			e.fail(st, in.Pos, "store target is not an array")
+			return nil
+		}
+		idx, err := e.eval(st, fr, in.Index)
+		if err != nil {
+			e.fail(st, in.Pos, "%v", err)
+			return nil
+		}
+		if !idx.IsConst() {
+			e.fail(st, in.Pos, "symbolic array index is not supported (index %s)", idx)
+			return nil
+		}
+		if idx.Val < 0 || idx.Val >= int64(len(arrV.Arr.Elems)) {
+			e.fail(st, in.Pos, "array index %d out of range [0,%d)", idx.Val, len(arrV.Arr.Elems))
+			return nil
+		}
+		v, err := e.eval(st, fr, in.X)
+		if err != nil {
+			e.fail(st, in.Pos, "%v", err)
+			return nil
+		}
+		arrV.Arr.Elems[idx.Val] = v
+		fr.PC++
+		return nil
+
+	case lang.OpJmp:
+		fr.PC = in.A
+		return nil
+
+	case lang.OpCJmp:
+		cond, err := e.eval(st, fr, in.X)
+		if err != nil {
+			e.fail(st, in.Pos, "%v", err)
+			return nil
+		}
+		return e.branch(st, fr, in, cond)
+
+	case lang.OpCall:
+		fn := e.unit.Funcs[in.F]
+		slots := make([]Value, fn.NumSlots)
+		for i, p := range fn.Params {
+			if p.Type.Kind == lang.TypeArray {
+				ve := in.Args[i].(*lang.VarExpr)
+				av := e.readVarRef(st, fr, ve.Ref)
+				slots[i] = av
+				continue
+			}
+			v, err := e.eval(st, fr, in.Args[i])
+			if err != nil {
+				e.fail(st, in.Pos, "%v", err)
+				return nil
+			}
+			slots[i] = Value{Sc: v}
+		}
+		fr.PC++ // resume after the call
+		st.Frames = append(st.Frames, Frame{
+			Fn:        fn,
+			Slots:     slots,
+			RetDst:    in.Dst,
+			HasRetDst: in.HasDst,
+		})
+		return nil
+
+	case lang.OpRet:
+		var ret *expr.Expr
+		if in.X != nil {
+			if lang.IsRetRegister(in.X) {
+				ret = fr.RetReg
+			} else {
+				v, err := e.eval(st, fr, in.X)
+				if err != nil {
+					e.fail(st, in.Pos, "%v", err)
+					return nil
+				}
+				ret = v
+			}
+		}
+		frame := st.Frames[len(st.Frames)-1]
+		st.Frames = st.Frames[:len(st.Frames)-1]
+		if len(st.Frames) == 0 {
+			st.Status = StatusExited
+			return nil
+		}
+		caller := st.frame()
+		if frame.HasRetDst {
+			if ret == nil {
+				ret = expr.Const(0)
+			}
+			e.writeVar(st, caller, frame.RetDst, Value{Sc: ret})
+		} else if ret != nil {
+			caller.RetReg = ret
+		}
+		return nil
+
+	case lang.OpIntrin:
+		return e.intrinsic(st, fr, in)
+	}
+	e.fail(st, in.Pos, "unknown opcode %v", in.Op)
+	return nil
+}
+
+// Code returns the instruction slice of the frame's function.
+func (fr *Frame) Code() []lang.Instr { return fr.Fn.Code }
+
+// branch handles OpCJmp. It may fork, returning the sibling state.
+func (e *Engine) branch(st *State, fr *Frame, in *lang.Instr, cond *expr.Expr) *State {
+	if cond.IsBoolLit() {
+		if cond.IsTrue() {
+			fr.PC = in.A
+		} else {
+			fr.PC = in.B
+		}
+		return nil
+	}
+	if e.opts.Concrete {
+		e.fail(st, in.Pos, "symbolic condition %s in concrete mode", cond)
+		return nil
+	}
+	negCond := expr.Not(cond)
+	tFeasible := e.feasible(st, cond)
+	fFeasible := e.feasible(st, negCond)
+	switch {
+	case tFeasible && fFeasible:
+		sibling := e.fork(st)
+		// Parent takes the true side.
+		st.Depth++
+		st.Path = append(st.Path, cond)
+		fr.PC = in.A
+		if !e.fireBranch(st, cond) {
+			st.Status = StatusPruned
+		}
+		// Sibling takes the false side.
+		sibling.Depth++
+		sibling.Path = append(sibling.Path, negCond)
+		sibling.frame().PC = in.B
+		if !e.fireBranch(sibling, negCond) {
+			sibling.Status = StatusPruned
+			e.res.Stats.States++
+			e.res.States = append(e.res.States, sibling)
+			return nil
+		}
+		return sibling
+	case tFeasible:
+		fr.PC = in.A
+		return nil
+	case fFeasible:
+		fr.PC = in.B
+		return nil
+	default:
+		// Both sides infeasible: the path constraints themselves became
+		// unsatisfiable (can happen with Unknown answers); drop the path.
+		st.Status = StatusExited
+		return nil
+	}
+}
+
+func (e *Engine) fireBranch(st *State, cond *expr.Expr) bool {
+	if e.opts.Hooks.OnBranch == nil {
+		return true
+	}
+	return e.opts.Hooks.OnBranch(st, cond)
+}
+
+// feasible asks the solver whether the path plus cond is satisfiable.
+// Unknown is treated as feasible (sound for bug finding: accepted paths are
+// re-verified before reporting).
+func (e *Engine) feasible(st *State, cond *expr.Expr) bool {
+	if cond.IsTrue() {
+		return true
+	}
+	if cond.IsFalse() {
+		return false
+	}
+	e.res.Stats.SolverCalls++
+	cs := make([]*expr.Expr, 0, len(st.Path)+1)
+	cs = append(cs, st.Path...)
+	cs = append(cs, cond)
+	res, _ := e.opts.Solver.Check(cs)
+	return res != solver.Unsat
+}
+
+// intrinsic executes an OpIntrin instruction.
+func (e *Engine) intrinsic(st *State, fr *Frame, in *lang.Instr) *State {
+	switch in.Bi {
+	case lang.BRecv:
+		ve := in.Args[0].(*lang.VarExpr)
+		av := e.readVarRef(st, fr, ve.Ref)
+		if av.Arr == nil {
+			e.fail(st, in.Pos, "recv target is not an array")
+			return nil
+		}
+		if e.opts.Concrete {
+			if len(e.opts.Message) != len(av.Arr.Elems) {
+				e.fail(st, in.Pos, "concrete message has %d fields, buffer wants %d",
+					len(e.opts.Message), len(av.Arr.Elems))
+				return nil
+			}
+			for i, v := range e.opts.Message {
+				av.Arr.Elems[i] = expr.Const(v)
+			}
+			fr.PC++
+			return nil
+		}
+		base := st.msgCounter
+		st.msgCounter++
+		for i := range av.Arr.Elems {
+			name := fmt.Sprintf("%s%d", e.opts.MsgPrefix, i)
+			if base > 0 {
+				name = fmt.Sprintf("%s_r%d_%d", e.opts.MsgPrefix, base, i)
+			}
+			av.Arr.Elems[i] = expr.Var(name)
+			st.MsgVars = append(st.MsgVars, name)
+		}
+		fr.PC++
+		return nil
+
+	case lang.BSend:
+		ve := in.Args[0].(*lang.VarExpr)
+		av := e.readVarRef(st, fr, ve.Ref)
+		if av.Arr == nil {
+			e.fail(st, in.Pos, "send source is not an array")
+			return nil
+		}
+		msg := SentMessage{
+			Fields: append([]*expr.Expr{}, av.Arr.Elems...),
+			Path:   append([]*expr.Expr{}, st.Path...),
+		}
+		st.Sent = append(st.Sent, msg)
+		if e.opts.Hooks.OnSend != nil {
+			e.opts.Hooks.OnSend(st, msg)
+		}
+		fr.PC++
+		return nil
+
+	case lang.BAssume:
+		cond, err := e.eval(st, fr, in.Args[0])
+		if err != nil {
+			e.fail(st, in.Pos, "%v", err)
+			return nil
+		}
+		if cond.IsBoolLit() {
+			if cond.IsFalse() {
+				st.Status = StatusExited
+				return nil
+			}
+			fr.PC++
+			return nil
+		}
+		if e.opts.Concrete {
+			e.fail(st, in.Pos, "symbolic assume in concrete mode")
+			return nil
+		}
+		if !e.feasible(st, cond) {
+			st.Status = StatusExited
+			return nil
+		}
+		st.Path = append(st.Path, cond)
+		// assume() adds a path constraint just like a branch does, so the
+		// branch hook fires here too (analyses track every constraint).
+		if !e.fireBranch(st, cond) {
+			st.Status = StatusPruned
+			return nil
+		}
+		fr.PC++
+		return nil
+
+	case lang.BAccept:
+		st.Status = StatusAccepted
+		if e.opts.Hooks.OnAccept != nil {
+			e.opts.Hooks.OnAccept(st)
+		}
+		return nil
+
+	case lang.BReject:
+		st.Status = StatusRejected
+		if e.opts.Hooks.OnReject != nil {
+			e.opts.Hooks.OnReject(st)
+		}
+		return nil
+
+	case lang.BExit:
+		st.Status = StatusExited
+		return nil
+	}
+	e.fail(st, in.Pos, "unknown intrinsic")
+	return nil
+}
+
+// readVar reads a storage location relative to the given frame.
+func (e *Engine) readVar(st *State, fr *Frame, ref lang.VarRef) Value {
+	if ref.Global {
+		return st.Globals[ref.Idx]
+	}
+	return fr.Slots[ref.Idx]
+}
+
+// readVarRef reads through a checker Ref (local/global).
+func (e *Engine) readVarRef(st *State, fr *Frame, ref lang.Ref) Value {
+	switch ref.Kind {
+	case lang.RefLocal:
+		return fr.Slots[ref.Idx]
+	case lang.RefGlobal:
+		return st.Globals[ref.Idx]
+	}
+	return Value{}
+}
+
+func (e *Engine) writeVar(st *State, fr *Frame, ref lang.VarRef, v Value) {
+	if ref.Global {
+		st.Globals[ref.Idx] = v
+		return
+	}
+	fr.Slots[ref.Idx] = v
+}

