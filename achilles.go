@@ -17,12 +17,19 @@
 //		Name:    "my-protocol",
 //		Server:  server,
 //		Clients: []achilles.ClientProgram{{Name: "client", Unit: client}},
-//	}, achilles.AnalysisOptions{})
+//	}, achilles.AnalysisOptions{Parallelism: runtime.NumCPU()})
 //	for _, trojan := range run.Analysis.Trojans {
 //		fmt.Println(trojan)
 //	}
 //
-// See examples/ for complete programs and DESIGN.md for the architecture.
+// AnalysisOptions.Parallelism fans the whole pipeline — client predicate
+// extraction, predicate preprocessing and the server-side frontier — out
+// over that many workers; the reported Trojan class set is identical for
+// every value (see DESIGN.md, "Where the parallelism sits").
+//
+// See examples/ for complete programs, README.md for the NL language
+// cheat-sheet, DESIGN.md for the architecture, and EXPERIMENTS.md for the
+// paper-vs-measured evaluation.
 package achilles
 
 import (

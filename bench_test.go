@@ -226,6 +226,64 @@ func BenchmarkSymexecFSPServer(b *testing.B) {
 	}
 }
 
+// The parallel scaling benchmarks: the full rich-corpus FSP analysis (256
+// client path predicates) at increasing -j. On a multicore host the higher
+// -j variants demonstrate the wall-clock win over -j 1; the reported class
+// count must not move.
+func benchmarkParallelAnalysis(b *testing.B, jobs int) {
+	var classes int
+	for i := 0; i < b.N; i++ {
+		run, err := core.Run(fsp.NewRichTarget(false), core.AnalysisOptions{Parallelism: jobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes = len(run.Analysis.Trojans)
+	}
+	b.ReportMetric(float64(classes), "classes")
+}
+
+func BenchmarkParallelAnalysisJ1(b *testing.B) { benchmarkParallelAnalysis(b, 1) }
+func BenchmarkParallelAnalysisJ2(b *testing.B) { benchmarkParallelAnalysis(b, 2) }
+func BenchmarkParallelAnalysisJ4(b *testing.B) { benchmarkParallelAnalysis(b, 4) }
+func BenchmarkParallelAnalysisJ8(b *testing.B) { benchmarkParallelAnalysis(b, 8) }
+
+// BenchmarkParallelSymexecJ4: the raw engine frontier at -j 4 on the FSP
+// server model (compare against BenchmarkSymexecFSPServer).
+func BenchmarkParallelSymexecJ4(b *testing.B) {
+	unit := fsp.ServerUnit()
+	for i := 0; i < b.N; i++ {
+		res, err := symexec.Run(unit, symexec.Options{Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.ByStatus(symexec.StatusAccepted)) != 112 {
+			b.Fatal("wrong accepting path count")
+		}
+	}
+}
+
+// BenchmarkSolverCacheHit: the cost of a Check answered by the sharded
+// verdict cache (compare against BenchmarkSolverTrojanQuery, which pays for
+// a real solve on its first iteration only).
+func BenchmarkSolverCacheHit(b *testing.B) {
+	s := solver.Default()
+	addr := expr.Var("m2")
+	q := []*expr.Expr{
+		expr.Lt(addr, expr.Const(100)),
+		expr.Or(expr.Lt(addr, expr.Const(0)), expr.Ge(addr, expr.Const(100))),
+	}
+	s.Check(q) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res, _ := s.Check(q); res != solver.Sat {
+			b.Fatal("expected sat")
+		}
+	}
+	if st := s.Stats(); st.CacheHits < b.N {
+		b.Fatalf("cache hits %d < %d iterations", st.CacheHits, b.N)
+	}
+}
+
 // BenchmarkConcreteFSPInterpretation: concrete interpretation throughput of
 // one message (the fuzzing inner loop).
 func BenchmarkConcreteFSPInterpretation(b *testing.B) {

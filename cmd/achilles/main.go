@@ -3,10 +3,14 @@
 //
 // Usage:
 //
-//	achilles -target fsp [-mode optimized|no-differentfrom|a-posteriori] [-json]
+//	achilles -target fsp [-j N] [-mode optimized|no-differentfrom|a-posteriori] [-json]
 //
 // Targets: kv, kv-fixed, fsp, fsp-glob, pbft, pbft-fixed, paxos-concrete,
 // paxos-symbolic.
+//
+// -j selects the number of analysis workers (default: all CPUs) across
+// client extraction, predicate preprocessing and the server exploration. The
+// reported Trojan class set is identical for every -j.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"achilles/internal/core"
@@ -60,6 +65,7 @@ func modeByName(name string) (core.Mode, error) {
 func main() {
 	targetName := flag.String("target", "kv", "target system to analyse")
 	modeName := flag.String("mode", "optimized", "analysis mode")
+	jobs := flag.Int("j", runtime.NumCPU(), "number of parallel analysis workers")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	flag.Parse()
 
@@ -73,7 +79,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "achilles:", err)
 		os.Exit(2)
 	}
-	run, err := core.Run(tgt, core.AnalysisOptions{Mode: mode})
+	if *jobs < 1 {
+		*jobs = 1
+	}
+	run, err := core.Run(tgt, core.AnalysisOptions{Mode: mode, Parallelism: *jobs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "achilles:", err)
 		os.Exit(1)
@@ -90,12 +99,14 @@ func main() {
 		var out struct {
 			Target      string       `json:"target"`
 			Mode        string       `json:"mode"`
+			Parallelism int          `json:"parallelism"`
 			ClientPaths int          `json:"client_paths"`
 			Trojans     []jsonTrojan `json:"trojans"`
 			TotalMS     int64        `json:"total_ms"`
 		}
 		out.Target = tgt.Name
 		out.Mode = mode.String()
+		out.Parallelism = *jobs
 		out.ClientPaths = len(run.Clients.Paths)
 		out.TotalMS = run.Total().Milliseconds()
 		for _, tr := range run.Analysis.Trojans {
@@ -116,8 +127,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("target %s (mode %s): %d client path predicates\n",
-		tgt.Name, mode, len(run.Clients.Paths))
+	fmt.Printf("target %s (mode %s, -j %d): %d client path predicates\n",
+		tgt.Name, mode, *jobs, len(run.Clients.Paths))
 	fmt.Printf("phases: extract %v, preprocess %v, server %v\n",
 		run.ClientExtractTime.Round(time.Millisecond),
 		run.PreprocessTime.Round(time.Millisecond),

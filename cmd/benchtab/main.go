@@ -1,15 +1,19 @@
 // Command benchtab regenerates the paper's evaluation tables and figures
-// (§6) as text rows.
+// (§6) as text rows, plus the reproduction-only parallel scaling table.
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|phases|ablation|pbft|macattack|wildcard|all
+//	benchtab -exp table1|fig10|fig11|fuzz|phases|ablation|pbft|macattack|wildcard|speedup|all [-j N]
+//
+// -j bounds the worker counts tried by the speedup experiment (powers of two
+// up to N; default: all CPUs).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"achilles/internal/experiments"
 )
@@ -17,12 +21,15 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	fuzzTests := flag.Int("fuzz-tests", 20000, "fuzzing campaign size")
+	jobs := flag.Int("j", runtime.NumCPU(), "max parallelism for the speedup experiment")
 	flag.Parse()
 
+	matched := false
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		matched = true
 		out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchtab: %s: %v\n", name, err)
@@ -30,6 +37,12 @@ func main() {
 		}
 		fmt.Println(out)
 	}
+	defer func() {
+		if !matched {
+			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}()
 
 	run("table1", func() (string, error) {
 		t, err := experiments.RunTable1(16)
@@ -89,5 +102,16 @@ func main() {
 			return "", err
 		}
 		return w.Render(), nil
+	})
+	run("speedup", func() (string, error) {
+		levels := []int{1}
+		for j := 2; j <= *jobs; j *= 2 {
+			levels = append(levels, j)
+		}
+		s, err := experiments.RunSpeedup(levels)
+		if err != nil {
+			return "", err
+		}
+		return s.Render(), nil
 	})
 }

@@ -1,0 +1,3 @@
+module achilles
+
+go 1.24

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"achilles/internal/expr"
@@ -53,6 +55,17 @@ type AnalysisOptions struct {
 	// example against the server model. It is forced on when the server
 	// runs with symbolic local state, which cannot be replayed concretely.
 	SkipConcreteVerification bool
+	// Parallelism is the number of analysis workers (the -j knob): it drives
+	// the engine's frontier workers, the concurrent Trojan checks and — via
+	// Run — client predicate extraction and preprocessing. Values <= 1 run
+	// the classic sequential pipeline. The reported Trojan class set is
+	// identical for every value, and reports are merged in fork-tree order
+	// so the report list is deterministic for a fixed Parallelism. Two
+	// caveats: the *order* of LiveTrace entries (not their multiset) is
+	// scheduling-dependent at Parallelism > 1, and a run truncated by
+	// Exec.MaxStates explores a scheduling-dependent subset under
+	// parallelism — see symexec.Options.Parallelism.
+	Parallelism int
 }
 
 // TrojanReport describes one discovered Trojan message class: an accepting
@@ -115,7 +128,25 @@ func (d *liveData) CloneData() symexec.StateData {
 	return &liveData{live: append([]int{}, d.live...)}
 }
 
-// analysis carries the run context.
+// pendingReport is a Trojan report gathered during (possibly concurrent)
+// exploration: everything is computed at accept time except the final Index
+// and ServerStateID, which are assigned by finalize once the merge order of
+// the run is known.
+type pendingReport struct {
+	st                *symexec.State
+	witness           *expr.Expr
+	concrete          []int64
+	stateEnv          expr.Env
+	live              []int
+	elapsed           time.Duration
+	verifiedAccept    bool
+	verifiedNotClient bool
+}
+
+// analysis carries the run context. With opts.Parallelism > 1 the engine
+// hooks run concurrently: mu guards the shared result fields (counters, live
+// trace, pending reports); everything else the hooks touch is either
+// per-state (liveData) or concurrency-safe (the solver).
 type analysis struct {
 	server *lang.Unit
 	pc     *ClientPredicate
@@ -123,6 +154,9 @@ type analysis struct {
 	sol    *solver.Solver
 	res    *Result
 	start  time.Time
+
+	mu      sync.Mutex
+	pending []pendingReport
 }
 
 // AnalyzeServer runs the Achilles server phase against a compiled server
@@ -141,6 +175,9 @@ func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions)
 	}
 	execOpts := opts.Exec
 	execOpts.Solver = a.sol
+	if execOpts.Parallelism == 0 {
+		execOpts.Parallelism = opts.Parallelism
+	}
 	switch opts.Mode {
 	case ModeAPosteriori:
 		// Phase A: plain symbolic execution (classic S2E run).
@@ -149,12 +186,17 @@ func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions)
 			return nil, err
 		}
 		a.res.EngineStats = engRes.Stats
-		// Phase B: symbolic constraint differencing over accepting paths.
-		for _, st := range engRes.ByStatus(symexec.StatusAccepted) {
+		// Phase B: symbolic constraint differencing over accepting paths,
+		// fanned out over the analysis workers (each path is independent).
+		accepted := engRes.ByStatus(symexec.StatusAccepted)
+		parallelFor(opts.Parallelism, len(accepted), func(i int) {
+			st := accepted[i]
+			a.mu.Lock()
 			a.res.AcceptingStates++
+			a.mu.Unlock()
 			live := a.liveFromScratch(st.Path)
 			a.reportIfTrojan(st, live)
-		}
+		})
 	default:
 		execOpts.Hooks = symexec.Hooks{
 			OnBranch: a.onBranch,
@@ -167,9 +209,45 @@ func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions)
 		a.res.EngineStats = engRes.Stats
 		a.res.PrunedStates = len(engRes.ByStatus(symexec.StatusPruned))
 	}
+	a.finalize()
 	a.res.Duration = time.Since(a.start)
 	a.res.SolverStats = a.sol.Stats()
 	return a.res, nil
+}
+
+// finalize turns the pending reports into the public report list. Reports
+// are ordered by the accepting state's fork-tree trail — for sequential runs
+// this equals the discovery order, for parallel runs it is the scheduling-
+// independent canonical order — and the discovery timeline is ordered by
+// elapsed time.
+func (a *analysis) finalize() {
+	sort.SliceStable(a.pending, func(i, j int) bool {
+		return a.pending[i].st.Trail < a.pending[j].st.Trail
+	})
+	for i, p := range a.pending {
+		a.res.Trojans = append(a.res.Trojans, TrojanReport{
+			Index:             i,
+			ServerStateID:     p.st.ID,
+			PathLen:           len(p.st.Path),
+			ServerPath:        append([]*expr.Expr{}, p.st.Path...),
+			Witness:           p.witness,
+			Concrete:          p.concrete,
+			StateEnv:          p.stateEnv,
+			LiveClients:       p.live,
+			Elapsed:           p.elapsed,
+			VerifiedAccept:    p.verifiedAccept,
+			VerifiedNotClient: p.verifiedNotClient,
+		})
+	}
+	elapsed := make([]time.Duration, len(a.pending))
+	for i, p := range a.pending {
+		elapsed[i] = p.elapsed
+	}
+	sort.Slice(elapsed, func(i, j int) bool { return elapsed[i] < elapsed[j] })
+	for i, d := range elapsed {
+		a.res.Timeline = append(a.res.Timeline, TimelinePoint{Elapsed: d, Found: i + 1})
+	}
+	a.pending = nil
 }
 
 // ensureData lazily attaches the live set (all client paths) to a state.
@@ -234,6 +312,9 @@ func (a *analysis) singleFieldOf(cond *expr.Expr) int {
 }
 
 // onBranch updates the live set and prunes states that no Trojan can reach.
+// It runs concurrently when the engine explores in parallel: all solver work
+// happens on the caller's state, and the shared counters and trace are
+// updated under the analysis lock in one batch at the end.
 func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 	d := a.ensureData(st)
 	// differentFrom bulk drop (§3.3): when the new constraint touches a
@@ -248,6 +329,7 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 	// with the same canonical message-relevant signature share one solver
 	// verdict (flag-style variants admit exactly the same messages).
 	var kept, dropped []int
+	var bulkDrops, bindKeyHits int
 	byKey := map[string]bool{}
 	for _, j := range d.live {
 		bulk := false
@@ -260,7 +342,7 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 			}
 		}
 		if bulk {
-			a.res.BulkDrops++
+			bulkDrops++
 			dropped = append(dropped, j)
 			continue
 		}
@@ -270,7 +352,7 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 			ok = a.triggerable(st.Path, j)
 			byKey[key] = ok
 		} else {
-			a.res.BindKeyHits++
+			bindKeyHits++
 		}
 		if ok {
 			kept = append(kept, j)
@@ -279,7 +361,11 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 		}
 	}
 	d.live = kept
+	a.mu.Lock()
+	a.res.BulkDrops += bulkDrops
+	a.res.BindKeyHits += bindKeyHits
 	a.res.LiveTrace = append(a.res.LiveTrace, LivePoint{PathLen: len(st.Path), Live: len(kept)})
+	a.mu.Unlock()
 	// Incremental Trojan check: discard the state as soon as no Trojan
 	// message can trigger it (Figure 7).
 	return a.trojanPossible(st.Path, kept)
@@ -323,13 +409,24 @@ func dupSeen(seen map[uint64][]*expr.Expr, neg *expr.Expr) bool {
 
 // onAccept emits a Trojan report for an accepting state.
 func (a *analysis) onAccept(st *symexec.State) {
+	a.mu.Lock()
 	a.res.AcceptingStates++
+	a.mu.Unlock()
 	d := a.ensureData(st)
 	a.reportIfTrojan(st, d.live)
 }
 
+// filtered counts one accepting state whose Trojan query did not survive.
+func (a *analysis) filtered() {
+	a.mu.Lock()
+	a.res.FilteredReports++
+	a.mu.Unlock()
+}
+
 // reportIfTrojan solves the final Trojan query for an accepting state and,
-// when satisfiable, records a report with a verified concrete example.
+// when satisfiable, records a pending report with a verified concrete
+// example. Index and ServerStateID assignment is deferred to finalize so
+// concurrent discoveries merge deterministically.
 func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 	q := make([]*expr.Expr, 0, len(st.Path)+len(live))
 	q = append(q, st.Path...)
@@ -338,7 +435,7 @@ func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 	for _, i := range live {
 		neg := a.pc.Paths[i].Negation()
 		if neg.IsFalse() {
-			a.res.FilteredReports++
+			a.filtered()
 			return
 		}
 		if dupSeen(seen, neg) {
@@ -349,37 +446,32 @@ func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 	}
 	res, model := a.sol.Check(q)
 	if res != solver.Sat {
-		a.res.FilteredReports++
+		a.filtered()
 		return
 	}
 	concrete := a.concreteMessage(model)
 	stateEnv := a.stateWorld(model)
-	rep := TrojanReport{
-		Index:         len(a.res.Trojans),
-		ServerStateID: st.ID,
-		PathLen:       len(st.Path),
-		ServerPath:    append([]*expr.Expr{}, st.Path...),
-		Witness:       witness,
-		Concrete:      concrete,
-		StateEnv:      stateEnv,
-		LiveClients:   append([]int{}, live...),
-		Elapsed:       time.Since(a.start),
+	rep := pendingReport{
+		st:       st,
+		witness:  witness,
+		concrete: concrete,
+		stateEnv: stateEnv,
+		live:     append([]int{}, live...),
+		elapsed:  time.Since(a.start),
 	}
-	rep.VerifiedNotClient = a.verifyNotClient(concrete, stateEnv)
+	rep.verifiedNotClient = a.verifyNotClient(concrete, stateEnv)
 	if !a.opts.SkipConcreteVerification {
-		rep.VerifiedAccept = a.verifyAccept(concrete, stateEnv)
+		rep.verifiedAccept = a.verifyAccept(concrete, stateEnv)
 	}
-	if !rep.VerifiedNotClient {
+	if !rep.verifiedNotClient {
 		// The example is generatable by some client path: a false positive
 		// (§4.1); drop it rather than report.
-		a.res.FilteredReports++
+		a.filtered()
 		return
 	}
-	a.res.Trojans = append(a.res.Trojans, rep)
-	a.res.Timeline = append(a.res.Timeline, TimelinePoint{
-		Elapsed: rep.Elapsed,
-		Found:   len(a.res.Trojans),
-	})
+	a.mu.Lock()
+	a.pending = append(a.pending, rep)
+	a.mu.Unlock()
 }
 
 // concreteMessage materialises the message fields from a model (absent

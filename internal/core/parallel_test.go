@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/fsp"
+	"achilles/internal/protocols/pbft"
+)
+
+// classSet renders the discovered Trojan classes in a canonical, order- and
+// ID-independent form: sorted witness plus concrete example strings.
+func classSet(t *testing.T, res *core.Result) []string {
+	t.Helper()
+	out := make([]string, 0, len(res.Trojans))
+	for _, tr := range res.Trojans {
+		out = append(out, fmt.Sprintf("%s @ %v", tr.Witness, tr.Concrete))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestParallelMatchesSequential asserts the ISSUE acceptance criterion: the
+// parallel pipeline at -j 1, 2 and 8 reports exactly the Trojan class set of
+// the sequential pipeline on the FSP and PBFT targets. Run under -race this
+// also exercises the engine frontier, the analysis hooks and the shared
+// solver cache for data races.
+func TestParallelMatchesSequential(t *testing.T) {
+	targets := []struct {
+		name string
+		mk   func() core.Target
+	}{
+		{"fsp", func() core.Target { return fsp.NewTarget(false) }},
+		{"pbft", pbft.NewTarget},
+	}
+	for _, tgt := range targets {
+		t.Run(tgt.name, func(t *testing.T) {
+			seq, err := core.Run(tgt.mk(), core.AnalysisOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := classSet(t, seq.Analysis)
+			if len(want) == 0 {
+				t.Fatal("sequential run found no Trojans; the comparison is vacuous")
+			}
+			for _, j := range []int{1, 2, 8} {
+				j := j
+				t.Run(fmt.Sprintf("j%d", j), func(t *testing.T) {
+					par, err := core.Run(tgt.mk(), core.AnalysisOptions{Parallelism: j})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := classSet(t, par.Analysis)
+					if len(got) != len(want) {
+						t.Fatalf("j=%d found %d Trojan classes, sequential found %d", j, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("j=%d class %d:\n  got  %s\n  want %s", j, i, got[i], want[i])
+						}
+					}
+					if par.Analysis.AcceptingStates != seq.Analysis.AcceptingStates {
+						t.Fatalf("j=%d accepting states %d, sequential %d",
+							j, par.Analysis.AcceptingStates, seq.Analysis.AcceptingStates)
+					}
+					// Every report must still carry the paper's §4 soundness
+					// verdicts.
+					for _, tr := range par.Analysis.Trojans {
+						if !tr.VerifiedNotClient {
+							t.Fatalf("j=%d trojan %d lost its non-client verification", j, tr.Index)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestParallelRunIsDeterministic asserts that two parallel runs at the same
+// -j produce identical report sequences (order included), i.e. the trail
+// merge is scheduling-independent.
+func TestParallelRunIsDeterministic(t *testing.T) {
+	render := func(res *core.Result) []string {
+		var out []string
+		for _, tr := range res.Trojans {
+			out = append(out, fmt.Sprintf("#%d state=%d len=%d %v",
+				tr.Index, tr.ServerStateID, tr.PathLen, tr.Concrete))
+		}
+		return out
+	}
+	a, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := render(a.Analysis), render(b.Analysis)
+	if len(ra) != len(rb) {
+		t.Fatalf("report counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("report %d differs between identical parallel runs:\n  %s\n  %s", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestParallelAblationModes runs the parallel pipeline through the §6.4
+// ablation modes and checks each one against its sequential twin.
+func TestParallelAblationModes(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeOptimized, core.ModeNoDifferentFrom, core.ModeAPosteriori} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			seq, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{Mode: mode, Parallelism: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, got := classSet(t, seq.Analysis), classSet(t, par.Analysis)
+			if len(want) != len(got) {
+				t.Fatalf("mode %v: parallel found %d classes, sequential %d", mode, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("mode %v: class %d differs:\n  got  %s\n  want %s", mode, i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelExtractionDeterministic asserts that concurrent client
+// extraction merges paths in client order: IDs, origins and bind keys match
+// the sequential extraction exactly.
+func TestParallelExtractionDeterministic(t *testing.T) {
+	tgt := fsp.NewRichTarget(false)
+	mk := func(j int) *core.ClientPredicate {
+		pc, err := core.ExtractClientPredicate(tgt.Clients, core.ExtractOptions{
+			Exec:        tgt.ClientExec,
+			FieldNames:  tgt.FieldNames,
+			Mask:        tgt.Mask,
+			SharedState: tgt.SharedState,
+			Parallelism: j,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pc
+	}
+	seq := mk(1)
+	par := mk(8)
+	if len(seq.Paths) != len(par.Paths) {
+		t.Fatalf("path counts differ: %d vs %d", len(seq.Paths), len(par.Paths))
+	}
+	for i := range seq.Paths {
+		s, p := seq.Paths[i], par.Paths[i]
+		if s.ID != p.ID || s.Origin != p.Origin || s.BindKey() != p.BindKey() {
+			t.Fatalf("path %d differs: (%d %s) vs (%d %s)", i, s.ID, s.Origin, p.ID, p.Origin)
+		}
+		if s.Negation().String() != p.Negation().String() {
+			t.Fatalf("path %d negation differs:\n  %s\n  %s", i, s.Negation(), p.Negation())
+		}
+	}
+	if seq.PreprocessStats.Disjuncts != par.PreprocessStats.Disjuncts ||
+		seq.PreprocessStats.OverlapDropped != par.PreprocessStats.OverlapDropped {
+		t.Fatalf("preprocess stats differ: %+v vs %+v", seq.PreprocessStats, par.PreprocessStats)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor runs fn(0), ..., fn(n-1) on at most workers goroutines,
+// claiming indices from a shared atomic counter. An effective worker count
+// of one (workers <= 1 or n <= 1) runs inline. Callers rely on every index
+// running exactly once; completion order is unspecified.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -171,6 +171,12 @@ type ExtractOptions struct {
 	SharedState []string
 	// Solver used during preprocessing; defaults to solver.Default().
 	Solver *solver.Solver
+	// Parallelism is the number of extraction workers: client programs run
+	// concurrently (one goroutine per client, results merged in client
+	// order, so path IDs are deterministic) and preprocessing fans the
+	// per-path work out over the same number of workers. Values <= 1 keep
+	// the sequential pipeline.
+	Parallelism int
 }
 
 // ClientProgram pairs a compiled client with a name for reports.
@@ -194,13 +200,38 @@ func ExtractClientPredicate(clients []ClientProgram, opts ExtractOptions) (*Clie
 	if opts.Solver == nil {
 		opts.Solver = solver.Default()
 	}
+	// Run every client model symbolically — concurrently when Parallelism
+	// allows. Results land in a per-client slot and are merged below in
+	// client order, so path IDs (and everything derived from them) are
+	// identical whatever the worker count. The -j budget is split between
+	// concurrently running clients and their engines' frontiers so a -j N
+	// extraction runs ~N solver-bound goroutines rather than clients×N
+	// (per-run results do not depend on the engine's worker count, so the
+	// split is determinism-neutral).
+	results := make([]*symexec.Result, len(clients))
+	errs := make([]error, len(clients))
+	concurrent := opts.Parallelism > 1 && len(clients) > 1
+	execOpts := opts.Exec
+	slots := opts.Parallelism
+	if slots > len(clients) {
+		slots = len(clients)
+	}
+	if execOpts.Parallelism == 0 {
+		execOpts.Parallelism = opts.Parallelism
+		if concurrent {
+			execOpts.Parallelism = opts.Parallelism / slots
+		}
+	}
+	parallelFor(slots, len(clients), func(i int) {
+		results[i], errs[i] = symexec.Run(clients[i].Unit, execOpts)
+	})
 	seen := map[string]bool{}
 	raw := 0
-	for _, cl := range clients {
-		res, err := symexec.Run(cl.Unit, opts.Exec)
-		if err != nil {
-			return nil, fmt.Errorf("core: client %s: %w", cl.Name, err)
+	for ci, cl := range clients {
+		if errs[ci] != nil {
+			return nil, fmt.Errorf("core: client %s: %w", cl.Name, errs[ci])
 		}
+		res := results[ci]
 		for _, st := range res.States {
 			if st.Status == symexec.StatusError {
 				return nil, fmt.Errorf("core: client %s: path error: %v", cl.Name, st.Err)
@@ -240,7 +271,7 @@ func ExtractClientPredicate(clients []ClientProgram, opts ExtractOptions) (*Clie
 		}
 	}
 	if !opts.SkipPreprocess {
-		pc.Preprocess(opts.Solver)
+		pc.PreprocessParallel(opts.Solver, opts.Parallelism)
 	}
 	return pc, nil
 }
@@ -294,11 +325,30 @@ func (pc *ClientPredicate) FieldIndexOfVar(name string) int {
 // field classification, the negation disjuncts (with the §4.1 overlap
 // check), and the differentFrom matrix (§3.3).
 func (pc *ClientPredicate) Preprocess(s *solver.Solver) {
-	for _, cp := range pc.Paths {
+	pc.PreprocessParallel(s, 1)
+}
+
+// PreprocessParallel is Preprocess with the per-path work (binding, field
+// classification, negation with its overlap solver queries, bind keys)
+// fanned out over the given number of workers. Paths are independent, so
+// the produced artifacts are identical to the sequential run; per-path
+// counters are summed in path order, keeping PreprocessStats
+// deterministic. The differentFrom matrix stays sequential: its memo
+// already collapses the quadratic query load, and the remaining solver
+// calls hit the verdict cache.
+func (pc *ClientPredicate) PreprocessParallel(s *solver.Solver, workers int) {
+	stats := make([]PreprocessStats, len(pc.Paths))
+	parallelFor(workers, len(pc.Paths), func(i int) {
+		cp := pc.Paths[i]
 		pc.buildBind(cp)
 		pc.classifyFields(cp)
-		pc.buildNegation(cp, s)
+		pc.buildNegation(cp, s, &stats[i])
 		pc.buildBindKey(cp)
+	})
+	for _, st := range stats {
+		pc.PreprocessStats.Disjuncts += st.Disjuncts
+		pc.PreprocessStats.OverlapDropped += st.OverlapDropped
+		pc.PreprocessStats.SolverQueries += st.SolverQueries
 	}
 	pc.buildDifferentFrom(s)
 }
@@ -476,7 +526,7 @@ func (pc *ClientPredicate) classifyFields(cp *ClientPath) {
 // the §4.1 overlap check: any disjunct sharing a solution with the original
 // path predicate is discarded, keeping the negation a strict
 // under-approximation.
-func (pc *ClientPredicate) buildNegation(cp *ClientPath, s *solver.Solver) {
+func (pc *ClientPredicate) buildNegation(cp *ClientPath, s *solver.Solver, stats *PreprocessStats) {
 	cp.negDisjuncts = make([]*expr.Expr, len(cp.Fields))
 	for f, e := range cp.Fields {
 		if pc.masked[f] {
@@ -521,15 +571,15 @@ func (pc *ClientPredicate) buildNegation(cp *ClientPath, s *solver.Solver) {
 		// shared state, simple vars) cannot overlap and skip the query.
 		if cp.fieldKind[f] != FieldConst && cp.fieldKind[f] != FieldState &&
 			!(cp.fieldKind[f] == FieldVar && cp.simpleField[f]) {
-			pc.PreprocessStats.SolverQueries++
+			stats.SolverQueries++
 			q := append(append([]*expr.Expr{}, cp.bind...), d)
 			if res, _ := s.Check(q); res != solver.Unsat {
-				pc.PreprocessStats.OverlapDropped++
+				stats.OverlapDropped++
 				continue
 			}
 		}
 		cp.negDisjuncts[f] = d
-		pc.PreprocessStats.Disjuncts++
+		stats.Disjuncts++
 	}
 }
 

@@ -42,7 +42,9 @@ func (r *RunResult) Total() time.Duration {
 	return r.ClientExtractTime + r.PreprocessTime + r.ServerTime
 }
 
-// Run executes both Achilles phases on a target.
+// Run executes both Achilles phases on a target. opts.Parallelism drives
+// every phase: concurrent client extraction, parallel predicate
+// preprocessing, and the worker-pool server exploration.
 func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
 	if opts.Solver == nil {
 		opts.Solver = solver.Default()
@@ -57,6 +59,7 @@ func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
 		SharedState:    t.SharedState,
 		Solver:         opts.Solver,
 		SkipPreprocess: true,
+		Parallelism:    opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -64,7 +67,7 @@ func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
 	out.ClientExtractTime = time.Since(t0)
 
 	t1 := time.Now()
-	pc.Preprocess(opts.Solver)
+	pc.PreprocessParallel(opts.Solver, opts.Parallelism)
 	out.PreprocessTime = time.Since(t1)
 	out.Clients = pc
 

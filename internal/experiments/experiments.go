@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -475,4 +477,73 @@ func RunWildcard() (*WildcardSummary, error) {
 func (w *WildcardSummary) Render() string {
 	return fmt.Sprintf("FSP wildcard experiment (§6.3): %d Trojan classes (%d mismatched-length, %d wildcard) in %s\n",
 		w.TotalTrojans, w.LengthClasses, w.WildcardClasses, w.Total.Round(time.Millisecond))
+}
+
+// SpeedupRow is one parallelism level of the scaling experiment.
+type SpeedupRow struct {
+	Jobs    int
+	Total   time.Duration
+	Server  time.Duration
+	Classes int
+	Speedup float64 // sequential total / this total
+}
+
+// Speedup is the parallel-vs-sequential scaling study. It goes beyond the
+// paper: the original Achilles ran single-threaded under S2E, whereas this
+// reproduction's pipeline — client extraction, predicate preprocessing and
+// the server frontier — fans out over -j workers with a shared solver cache.
+type Speedup struct {
+	Rows []SpeedupRow
+	CPUs int
+}
+
+// RunSpeedup measures the rich-corpus FSP analysis (256 client path
+// predicates, the heaviest bundled workload) at each parallelism level and
+// verifies that every level reports the identical Trojan class set. On a
+// single-core host the rows degenerate to "no slower"; on multicore the
+// server phase scales with the frontier workers.
+func RunSpeedup(jobs []int) (*Speedup, error) {
+	out := &Speedup{CPUs: runtime.NumCPU()}
+	var baseline *core.RunResult
+	var baselineClasses []string
+	for _, j := range jobs {
+		run, err := core.Run(fsp.NewRichTarget(false), core.AnalysisOptions{Parallelism: j})
+		if err != nil {
+			return nil, err
+		}
+		classes := make([]string, len(run.Analysis.Trojans))
+		for i, tr := range run.Analysis.Trojans {
+			classes[i] = fmt.Sprintf("%s@%v", tr.Witness, tr.Concrete)
+		}
+		sort.Strings(classes)
+		if baseline == nil {
+			baseline = run
+			baselineClasses = classes
+		} else if !slices.Equal(classes, baselineClasses) {
+			return nil, fmt.Errorf("speedup: -j %d reported a different Trojan class set than -j %d", j, jobs[0])
+		}
+		row := SpeedupRow{
+			Jobs:    j,
+			Total:   run.Total(),
+			Server:  run.ServerTime,
+			Classes: len(run.Analysis.Trojans),
+		}
+		if run.Total() > 0 {
+			row.Speedup = float64(baseline.Total()) / float64(run.Total())
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the scaling table.
+func (s *Speedup) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel scaling (rich FSP corpus, %d CPUs): identical class set at every -j\n", s.CPUs)
+	fmt.Fprintf(&b, "  %4s %12s %12s %8s %8s\n", "-j", "total", "server", "classes", "speedup")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "  %4d %12s %12s %8d %7.2fx\n",
+			r.Jobs, r.Total.Round(time.Millisecond), r.Server.Round(time.Millisecond), r.Classes, r.Speedup)
+	}
+	return b.String()
 }

@@ -2,11 +2,15 @@ package expr
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 )
 
 // Env is a concrete assignment of integer values to variable names.
 type Env map[string]int64
+
+// Clone returns an independent copy of the environment (nil stays nil).
+func (env Env) Clone() Env { return maps.Clone(env) }
 
 // EvalError describes a failed evaluation (unbound variable or division by
 // zero).

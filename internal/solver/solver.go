@@ -25,10 +25,17 @@
 // answers are sound because enumeration is exhaustive whenever domains are
 // finite and within budget; otherwise the solver answers Unknown, mirroring
 // how the paper treats Z3's quantifier-heuristic failures (§3.2).
+//
+// A Solver is safe for concurrent use: the search state is allocated per
+// query, statistics are atomic counters, and verdicts are memoised in a
+// sharded (mutex-striped) formula→verdict cache so that repeated queries —
+// in particular the differentFrom and Trojan checks issued by concurrent
+// analysis workers — hit memory instead of re-solving.
 package solver
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"achilles/internal/expr"
 )
@@ -59,7 +66,7 @@ func (r Result) String() string {
 }
 
 // Stats accumulates counters across queries; read them for the evaluation
-// harness, reset them with Reset.
+// harness, reset them with ResetStats.
 type Stats struct {
 	Queries      int // Check calls
 	Decisions    int // variable assignments tried
@@ -67,6 +74,20 @@ type Stats struct {
 	Splits       int // disjunction branches explored
 	Verified     int // full models verified
 	Unknowns     int // queries answered Unknown
+	CacheHits    int // queries answered from the verdict cache
+	CacheMisses  int // queries that had to be solved
+}
+
+// counters is the internal, concurrency-safe representation of Stats.
+type counters struct {
+	queries      atomic.Int64
+	decisions    atomic.Int64
+	propagations atomic.Int64
+	splits       atomic.Int64
+	verified     atomic.Int64
+	unknowns     atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
 }
 
 // Options configure a Solver.
@@ -78,13 +99,23 @@ type Options struct {
 	// enumerated; larger domains use boundary heuristics only. Zero means
 	// the default (1 << 16).
 	MaxEnumDomain int64
+	// CacheShards is the number of mutex stripes of the verdict cache. Zero
+	// means the default (64).
+	CacheShards int
+	// CacheShardEntries bounds the entries held per shard; one arbitrary
+	// entry is evicted on overflow. Zero means the default (4096).
+	CacheShardEntries int
+	// DisableCache turns the verdict cache off; every Check solves afresh.
+	DisableCache bool
 }
 
 // Solver decides satisfiability of constraint conjunctions. A Solver may be
-// reused across queries; it is not safe for concurrent use.
+// reused across queries and shared between goroutines: the search state is
+// per-query, statistics are atomic, and the verdict cache is mutex-striped.
 type Solver struct {
 	opts  Options
-	stats Stats
+	stats counters
+	cache *verdictCache // nil when disabled
 }
 
 // New returns a Solver with the given options.
@@ -95,17 +126,47 @@ func New(opts Options) *Solver {
 	if opts.MaxEnumDomain == 0 {
 		opts.MaxEnumDomain = 1 << 16
 	}
-	return &Solver{opts: opts}
+	if opts.CacheShards == 0 {
+		opts.CacheShards = 64
+	}
+	if opts.CacheShardEntries == 0 {
+		opts.CacheShardEntries = 4096
+	}
+	s := &Solver{opts: opts}
+	if !opts.DisableCache {
+		s.cache = newVerdictCache(opts.CacheShards, opts.CacheShardEntries)
+	}
+	return s
 }
 
 // Default returns a solver with default options.
 func Default() *Solver { return New(Options{}) }
 
 // Stats returns a copy of the accumulated statistics.
-func (s *Solver) Stats() Stats { return s.stats }
+func (s *Solver) Stats() Stats {
+	return Stats{
+		Queries:      int(s.stats.queries.Load()),
+		Decisions:    int(s.stats.decisions.Load()),
+		Propagations: int(s.stats.propagations.Load()),
+		Splits:       int(s.stats.splits.Load()),
+		Verified:     int(s.stats.verified.Load()),
+		Unknowns:     int(s.stats.unknowns.Load()),
+		CacheHits:    int(s.stats.cacheHits.Load()),
+		CacheMisses:  int(s.stats.cacheMisses.Load()),
+	}
+}
 
 // ResetStats zeroes the statistics counters.
-func (s *Solver) ResetStats() { s.stats = Stats{} }
+func (s *Solver) ResetStats() {
+	s.stats.queries.Store(0)
+	s.stats.decisions.Store(0)
+	s.stats.propagations.Store(0)
+	s.stats.splits.Store(0)
+	s.stats.verified.Store(0)
+	s.stats.unknowns.Store(0)
+	s.stats.cacheHits.Store(0)
+	s.stats.cacheMisses.Store(0)
+}
 
 // satLimit is the saturation bound for interval arithmetic: all domain
 // endpoints are clamped to [-satLimit, satLimit] so bound computation cannot
@@ -116,7 +177,25 @@ const satLimit = int64(1) << 62
 // returned model assigns every variable occurring in the constraints and has
 // been verified by evaluation.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
-	s.stats.Queries++
+	s.stats.queries.Add(1)
+	var key string
+	if s.cache != nil {
+		key = queryKey(constraints)
+		if ent, ok := s.cache.get(key); ok {
+			s.stats.cacheHits.Add(1)
+			return ent.res, ent.model.Clone()
+		}
+		s.stats.cacheMisses.Add(1)
+	}
+	res, model := s.check(constraints)
+	if s.cache != nil {
+		s.cache.put(key, verdict{res: res, model: model.Clone()})
+	}
+	return res, model
+}
+
+// check solves one query without consulting the cache.
+func (s *Solver) check(constraints []*expr.Expr) (Result, expr.Env) {
 	var conj []*expr.Expr
 	var disj []*expr.Expr
 	for _, c := range constraints {
@@ -127,7 +206,7 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
 	budget := s.opts.MaxDecisions
 	res, model := s.solve(conj, disj, &budget)
 	if res == Unknown {
-		s.stats.Unknowns++
+		s.stats.unknowns.Add(1)
 	}
 	return res, model
 }
@@ -181,7 +260,7 @@ func (s *Solver) solve(conj, disj []*expr.Expr, budget *int) (Result, expr.Env) 
 		if *budget <= 0 {
 			return Unknown, nil
 		}
-		s.stats.Splits++
+		s.stats.splits.Add(1)
 		subConj := append([]*expr.Expr{}, conj...)
 		subDisj := append([]*expr.Expr{}, rest...)
 		if !flatten(p, &subConj, &subDisj) {
@@ -392,7 +471,7 @@ func (cs *conjState) setDomain(v string, iv interval) (bool, bool) {
 // propagateAtom tightens domains using one linear atom.
 // Atom form: sum(coeff_i * x_i) + c  OP  0 with OP in {<=, ==, !=}.
 func (s *Solver) propagateAtom(cs *conjState, a *linAtom) (ok, changed bool) {
-	s.stats.Propagations++
+	s.stats.propagations.Add(1)
 	// Partition into assigned and free, folding assigned values into c.
 	c := a.c
 	type term struct {
@@ -581,7 +660,7 @@ func (s *Solver) search(cs *conjState, budget *int) (Result, expr.Env) {
 			return Unknown, nil
 		}
 		*budget--
-		s.stats.Decisions++
+		s.stats.decisions.Add(1)
 		child := cs.clone()
 		child.assigned[bestVar] = v
 		delete(child.domains, bestVar)
@@ -631,7 +710,7 @@ func (s *Solver) finish(cs *conjState) (Result, expr.Env) {
 			env[v] = cs.domains[v].lo
 		}
 	}
-	s.stats.Verified++
+	s.stats.verified.Add(1)
 	for _, a := range cs.orig {
 		v, err := expr.EvalBool(a, env)
 		if err != nil || !v {

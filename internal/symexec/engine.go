@@ -14,11 +14,19 @@
 // The black-box fuzzing baseline and the Trojan-injection oracles reuse the
 // concrete mode, which guarantees that analysis and replay agree on the
 // program semantics.
+//
+// With Options.Parallelism > 1 the engine explores independent branches of
+// the fork tree on a pool of workers sharing one frontier (see parallel.go).
+// The explored tree is identical to the sequential one — feasibility depends
+// only on the path, and the solver is deterministic — and terminal states
+// are merged in fork-tree order (State.Trail), so results are deterministic
+// and independent of worker scheduling.
 package symexec
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"achilles/internal/expr"
 	"achilles/internal/lang"
@@ -98,6 +106,17 @@ type State struct {
 	Status  Status
 	Err     error
 
+	// Trail is the state's position in the fork tree: one byte per forking
+	// branch, '0' for the true side and '1' for the false side. Terminal
+	// states have unique trails, making lexicographic trail order the
+	// canonical, scheduling-independent merge order for parallel runs. In
+	// hook-free runs it equals the sequential engine's depth-first
+	// completion order exactly; with an OnBranch hook the sequential order
+	// differs only in that hook-pruned siblings are recorded at fork time
+	// (ahead of their trail position) — accepted states still complete in
+	// trail order either way.
+	Trail string
+
 	Sent    []SentMessage // messages sent on this path
 	MsgVars []string      // names of the symbolic message variables from recv()
 	Depth   int           // number of symbolic branch decisions on this path
@@ -116,7 +135,10 @@ func (st *State) frame() *Frame { return &st.Frames[len(st.Frames)-1] }
 // PathExpr returns the conjunction of the path constraints.
 func (st *State) PathExpr() *expr.Expr { return expr.AndAll(st.Path) }
 
-// Hooks intercept engine events. Any hook may be nil.
+// Hooks intercept engine events. Any hook may be nil. When the engine runs
+// with Parallelism > 1 the hooks are invoked concurrently from the worker
+// goroutines and must be safe for concurrent use; the state passed to a hook
+// is owned by the calling worker and may be mutated freely.
 type Hooks struct {
 	// OnBranch runs after a new symbolic branch constraint was appended to
 	// st.Path. Returning false prunes the state (StatusPruned).
@@ -141,6 +163,17 @@ type Options struct {
 	Solver *solver.Solver
 	// Hooks intercept events.
 	Hooks Hooks
+
+	// Parallelism is the number of exploration workers. Values <= 1 select
+	// the sequential engine; concrete runs are always sequential (a concrete
+	// run is a single path). Terminal states of a parallel run are returned
+	// in fork-tree (Trail) order with IDs renumbered to that order, so for
+	// runs that complete within MaxStates the result is deterministic for
+	// any worker count. A run truncated by MaxStates keeps a scheduling-
+	// dependent subset under parallelism (the sequential engine keeps the
+	// depth-first prefix); size MaxStates as a runaway backstop, not as a
+	// sampling mechanism.
+	Parallelism int
 
 	// Concrete switches to concrete execution: inputs come from Inputs and
 	// Message, branches must evaluate to constants, and no forking happens.
@@ -217,7 +250,28 @@ type Engine struct {
 	unit *lang.Unit
 	opts Options
 	res  *Result
-	next int // state id counter
+	next atomic.Int64 // state id counter
+
+	par       bool         // parallel run in progress
+	termCount atomic.Int64 // terminal states recorded (parallel MaxStates)
+	front     *frontier    // shared work queue (parallel mode)
+}
+
+// wctx is the per-worker execution context: statistics and terminal states
+// accumulate here without synchronisation and are merged after the run.
+type wctx struct {
+	stats     Stats
+	terminals []*State
+}
+
+// record books a terminal state into the worker context. In parallel mode it
+// also maintains the global terminal count that enforces MaxStates.
+func (e *Engine) record(ctx *wctx, st *State) {
+	ctx.stats.States++
+	ctx.terminals = append(ctx.terminals, st)
+	if e.par && int(e.termCount.Add(1)) >= e.opts.MaxStates {
+		e.front.stop()
+	}
 }
 
 // New creates an engine for the unit.
@@ -245,29 +299,39 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	e.res = &Result{}
 	init := e.initialState(entry)
+	if e.opts.Parallelism > 1 && !e.opts.Concrete {
+		e.runParallel(init)
+	} else {
+		e.runSequential(init)
+	}
+	return e.res, nil
+}
+
+// runSequential is the classic depth-first worklist loop.
+func (e *Engine) runSequential(init *State) {
+	ctx := &wctx{}
 	work := []*State{init}
 	for len(work) > 0 {
-		if e.res.Stats.States >= e.opts.MaxStates {
+		if ctx.stats.States >= e.opts.MaxStates {
 			break
 		}
 		st := work[len(work)-1]
 		work = work[:len(work)-1]
 		for st.Status == StatusRunning {
-			child := e.step(st)
+			child := e.step(ctx, st)
 			if child != nil {
 				work = append(work, child)
 			}
 		}
-		e.res.Stats.States++
-		e.res.States = append(e.res.States, st)
+		e.record(ctx, st)
 	}
-	return e.res, nil
+	e.res.States = ctx.terminals
+	e.res.Stats = ctx.stats
 }
 
 // initialState builds globals and the entry frame.
 func (e *Engine) initialState(entry *lang.IRFunc) *State {
-	st := &State{ID: e.next}
-	e.next++
+	st := &State{ID: int(e.next.Add(1) - 1)}
 	st.Globals = make([]Value, len(e.unit.Globals))
 	for i, g := range e.unit.Globals {
 		if g.Type.Kind == lang.TypeArray {
@@ -295,17 +359,17 @@ func (e *Engine) initialState(entry *lang.IRFunc) *State {
 }
 
 // fork deep-copies a state, preserving array aliasing.
-func (e *Engine) fork(st *State) *State {
+func (e *Engine) fork(ctx *wctx, st *State) *State {
 	ns := &State{
-		ID:          e.next,
+		ID:          int(e.next.Add(1) - 1),
 		Status:      st.Status,
 		Depth:       st.Depth,
 		Steps:       st.Steps,
+		Trail:       st.Trail,
 		inputCursor: st.inputCursor,
 		varCounter:  st.varCounter,
 		msgCounter:  st.msgCounter,
 	}
-	e.next++
 	seen := map[*ArrayObj]*ArrayObj{}
 	cpVal := func(v Value) Value {
 		if v.Arr == nil {
@@ -337,7 +401,7 @@ func (e *Engine) fork(st *State) *State {
 	if st.Data != nil {
 		ns.Data = st.Data.CloneData()
 	}
-	e.res.Stats.Forks++
+	ctx.stats.Forks++
 	return ns
 }
 
@@ -349,9 +413,9 @@ func (e *Engine) fail(st *State, pos lang.Pos, format string, args ...any) {
 
 // step executes one instruction. It returns a forked sibling state to
 // enqueue, or nil.
-func (e *Engine) step(st *State) *State {
+func (e *Engine) step(ctx *wctx, st *State) *State {
 	st.Steps++
-	e.res.Stats.Steps++
+	ctx.stats.Steps++
 	if st.Steps > e.opts.MaxSteps {
 		e.fail(st, lang.Pos{}, "step budget exhausted (%d); possible unbounded loop", e.opts.MaxSteps)
 		return nil
@@ -420,7 +484,7 @@ func (e *Engine) step(st *State) *State {
 			e.fail(st, in.Pos, "%v", err)
 			return nil
 		}
-		return e.branch(st, fr, in, cond)
+		return e.branch(ctx, st, fr, in, cond)
 
 	case lang.OpCall:
 		fn := e.unit.Funcs[in.F]
@@ -480,7 +544,7 @@ func (e *Engine) step(st *State) *State {
 		return nil
 
 	case lang.OpIntrin:
-		return e.intrinsic(st, fr, in)
+		return e.intrinsic(ctx, st, fr, in)
 	}
 	e.fail(st, in.Pos, "unknown opcode %v", in.Op)
 	return nil
@@ -490,7 +554,7 @@ func (e *Engine) step(st *State) *State {
 func (fr *Frame) Code() []lang.Instr { return fr.Fn.Code }
 
 // branch handles OpCJmp. It may fork, returning the sibling state.
-func (e *Engine) branch(st *State, fr *Frame, in *lang.Instr, cond *expr.Expr) *State {
+func (e *Engine) branch(ctx *wctx, st *State, fr *Frame, in *lang.Instr, cond *expr.Expr) *State {
 	if cond.IsBoolLit() {
 		if cond.IsTrue() {
 			fr.PC = in.A
@@ -504,13 +568,14 @@ func (e *Engine) branch(st *State, fr *Frame, in *lang.Instr, cond *expr.Expr) *
 		return nil
 	}
 	negCond := expr.Not(cond)
-	tFeasible := e.feasible(st, cond)
-	fFeasible := e.feasible(st, negCond)
+	tFeasible := e.feasible(ctx, st, cond)
+	fFeasible := e.feasible(ctx, st, negCond)
 	switch {
 	case tFeasible && fFeasible:
-		sibling := e.fork(st)
+		sibling := e.fork(ctx, st)
 		// Parent takes the true side.
 		st.Depth++
+		st.Trail += "0"
 		st.Path = append(st.Path, cond)
 		fr.PC = in.A
 		if !e.fireBranch(st, cond) {
@@ -518,12 +583,12 @@ func (e *Engine) branch(st *State, fr *Frame, in *lang.Instr, cond *expr.Expr) *
 		}
 		// Sibling takes the false side.
 		sibling.Depth++
+		sibling.Trail += "1"
 		sibling.Path = append(sibling.Path, negCond)
 		sibling.frame().PC = in.B
 		if !e.fireBranch(sibling, negCond) {
 			sibling.Status = StatusPruned
-			e.res.Stats.States++
-			e.res.States = append(e.res.States, sibling)
+			e.record(ctx, sibling)
 			return nil
 		}
 		return sibling
@@ -551,14 +616,14 @@ func (e *Engine) fireBranch(st *State, cond *expr.Expr) bool {
 // feasible asks the solver whether the path plus cond is satisfiable.
 // Unknown is treated as feasible (sound for bug finding: accepted paths are
 // re-verified before reporting).
-func (e *Engine) feasible(st *State, cond *expr.Expr) bool {
+func (e *Engine) feasible(ctx *wctx, st *State, cond *expr.Expr) bool {
 	if cond.IsTrue() {
 		return true
 	}
 	if cond.IsFalse() {
 		return false
 	}
-	e.res.Stats.SolverCalls++
+	ctx.stats.SolverCalls++
 	cs := make([]*expr.Expr, 0, len(st.Path)+1)
 	cs = append(cs, st.Path...)
 	cs = append(cs, cond)
@@ -567,7 +632,7 @@ func (e *Engine) feasible(st *State, cond *expr.Expr) bool {
 }
 
 // intrinsic executes an OpIntrin instruction.
-func (e *Engine) intrinsic(st *State, fr *Frame, in *lang.Instr) *State {
+func (e *Engine) intrinsic(ctx *wctx, st *State, fr *Frame, in *lang.Instr) *State {
 	switch in.Bi {
 	case lang.BRecv:
 		ve := in.Args[0].(*lang.VarExpr)
@@ -637,7 +702,7 @@ func (e *Engine) intrinsic(st *State, fr *Frame, in *lang.Instr) *State {
 			e.fail(st, in.Pos, "symbolic assume in concrete mode")
 			return nil
 		}
-		if !e.feasible(st, cond) {
+		if !e.feasible(ctx, st, cond) {
 			st.Status = StatusExited
 			return nil
 		}

@@ -1,0 +1,80 @@
+package symexec_test
+
+// External test package: the FSP model imports internal/core which imports
+// symexec, so these equivalence tests live outside the package to avoid an
+// import cycle.
+
+import (
+	"fmt"
+	"testing"
+
+	"achilles/internal/protocols/fsp"
+	"achilles/internal/symexec"
+)
+
+// stateKey renders one terminal state order-independently of its ID.
+func stateKey(s *symexec.State) string {
+	return fmt.Sprintf("%v|%s|%s", s.Status, s.Trail, s.PathExpr())
+}
+
+// TestParallelFrontierMatchesSequential explores the FSP server model with
+// 1, 2, 4 and 8 workers and asserts the terminal state list is identical to
+// the sequential engine's — same states, same order (the parallel merge sorts
+// by Trail, which equals the sequential depth-first completion order).
+func TestParallelFrontierMatchesSequential(t *testing.T) {
+	unit := fsp.ServerUnit()
+	seq, err := symexec.Run(unit, symexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{1, 2, 4, 8} {
+		j := j
+		t.Run(fmt.Sprintf("j%d", j), func(t *testing.T) {
+			par, err := symexec.Run(unit, symexec.Options{Parallelism: j})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.States) != len(seq.States) {
+				t.Fatalf("parallel %d states, sequential %d", len(par.States), len(seq.States))
+			}
+			for i := range seq.States {
+				if sk, pk := stateKey(seq.States[i]), stateKey(par.States[i]); sk != pk {
+					t.Fatalf("state %d differs:\n  seq %s\n  par %s", i, sk, pk)
+				}
+			}
+			if par.Stats.States != seq.Stats.States || par.Stats.Forks != seq.Stats.Forks {
+				t.Fatalf("stats differ: par %+v, seq %+v", par.Stats, seq.Stats)
+			}
+		})
+	}
+}
+
+// TestParallelTrailsUnique asserts every terminal state has a distinct
+// fork-tree trail — the property that makes Trail a sound merge key.
+func TestParallelTrailsUnique(t *testing.T) {
+	res, err := symexec.Run(fsp.ServerUnit(), symexec.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, st := range res.States {
+		if seen[st.Trail] {
+			t.Fatalf("duplicate trail %q", st.Trail)
+		}
+		seen[st.Trail] = true
+	}
+}
+
+// TestParallelIDsAreTrailOrdered asserts parallel runs renumber state IDs in
+// merge order, so downstream reports are reproducible run to run.
+func TestParallelIDsAreTrailOrdered(t *testing.T) {
+	res, err := symexec.Run(fsp.ServerUnit(), symexec.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range res.States {
+		if st.ID != i {
+			t.Fatalf("state %d has ID %d after merge", i, st.ID)
+		}
+	}
+}
