@@ -1,15 +1,15 @@
-// Command achilles runs the Trojan-message analysis on one of the bundled
-// targets and prints the discovered Trojan classes.
+// Command achilles runs the Trojan-message analysis on one of the
+// registered targets and prints the discovered Trojan classes.
 //
 // Usage:
 //
 //	achilles -target fsp [-j N] [-mode optimized|no-differentfrom|a-posteriori] [-json]
+//	achilles -list
 //
-// Targets: kv, kv-fixed, fsp, fsp-glob, pbft, pbft-fixed, paxos-concrete,
-// paxos-symbolic.
-//
-// -j selects the number of analysis workers (default: all CPUs) across
-// client extraction, predicate preprocessing and the server exploration. The
+// Targets resolve from the protocol registry (internal/protocols/registry);
+// -list prints every registered name with its one-line summary. -j selects
+// the number of analysis workers (default: all CPUs) across client
+// extraction, predicate preprocessing and the server exploration. The
 // reported Trojan class set is identical for every -j.
 package main
 
@@ -19,36 +19,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"achilles/internal/core"
-	"achilles/internal/protocols/fsp"
-	"achilles/internal/protocols/kv"
-	"achilles/internal/protocols/paxos"
-	"achilles/internal/protocols/pbft"
+	_ "achilles/internal/protocols"
+	"achilles/internal/protocols/registry"
 )
-
-func targetByName(name string) (core.Target, error) {
-	switch name {
-	case "kv":
-		return kv.NewTarget(), nil
-	case "kv-fixed":
-		return kv.NewFixedTarget(), nil
-	case "fsp":
-		return fsp.NewTarget(false), nil
-	case "fsp-glob":
-		return fsp.NewTarget(true), nil
-	case "pbft":
-		return pbft.NewTarget(), nil
-	case "pbft-fixed":
-		return pbft.NewFixedTarget(), nil
-	case "paxos-concrete":
-		return paxos.ConcreteStateTarget(3, 7), nil
-	case "paxos-symbolic":
-		return paxos.SymbolicStateTarget(), nil
-	}
-	return core.Target{}, fmt.Errorf("unknown target %q", name)
-}
 
 func modeByName(name string) (core.Mode, error) {
 	switch name {
@@ -62,16 +39,33 @@ func modeByName(name string) (core.Mode, error) {
 	return 0, fmt.Errorf("unknown mode %q", name)
 }
 
+func listTargets(w *os.File) {
+	fmt.Fprintln(w, "registered targets:")
+	for _, d := range registry.All() {
+		name := d.Name
+		if len(d.Aliases) > 0 {
+			name += " (" + strings.Join(d.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "  %-24s %s\n", name, d.Summary)
+	}
+}
+
 func main() {
-	targetName := flag.String("target", "kv", "target system to analyse")
+	targetName := flag.String("target", "kv", "target system to analyse (see -list)")
 	modeName := flag.String("mode", "optimized", "analysis mode")
 	jobs := flag.Int("j", runtime.NumCPU(), "number of parallel analysis workers")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	list := flag.Bool("list", false, "list the registered targets and exit")
 	flag.Parse()
 
-	tgt, err := targetByName(*targetName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "achilles:", err)
+	if *list {
+		listTargets(os.Stdout)
+		return
+	}
+	desc, ok := registry.Lookup(*targetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "achilles: unknown target %q\n", *targetName)
+		listTargets(os.Stderr)
 		os.Exit(2)
 	}
 	mode, err := modeByName(*modeName)
@@ -82,7 +76,11 @@ func main() {
 	if *jobs < 1 {
 		*jobs = 1
 	}
-	run, err := core.Run(tgt, core.AnalysisOptions{Mode: mode, Parallelism: *jobs})
+	tgt := desc.Target()
+	opts := desc.Analysis
+	opts.Mode = mode
+	opts.Parallelism = *jobs
+	run, err := core.Run(tgt, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "achilles:", err)
 		os.Exit(1)

@@ -1,12 +1,14 @@
 // Command benchtab regenerates the paper's evaluation tables and figures
-// (§6) as text rows, plus the reproduction-only parallel scaling table.
+// (§6) as text rows, plus the reproduction-only parallel scaling table and
+// the registry-wide sweep/fuzz-baseline tables.
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|phases|ablation|pbft|macattack|wildcard|speedup|all [-j N]
+//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|all [-j N] [-target NAME]
 //
 // -j bounds the worker counts tried by the speedup experiment (powers of two
-// up to N; default: all CPUs).
+// up to N; default: all CPUs) and drives the sweep. -target restricts the
+// fuzzbase experiment to one registry target (default: every fuzzable one).
 package main
 
 import (
@@ -22,6 +24,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to regenerate")
 	fuzzTests := flag.Int("fuzz-tests", 20000, "fuzzing campaign size")
 	jobs := flag.Int("j", runtime.NumCPU(), "max parallelism for the speedup experiment")
+	target := flag.String("target", "all", "registry target for the fuzzbase experiment")
 	flag.Parse()
 
 	matched := false
@@ -109,6 +112,20 @@ func main() {
 			levels = append(levels, j)
 		}
 		s, err := experiments.RunSpeedup(levels)
+		if err != nil {
+			return "", err
+		}
+		return s.Render(), nil
+	})
+	run("fuzzbase", func() (string, error) {
+		f, err := experiments.RunFuzzBaselines(*target, *fuzzTests)
+		if err != nil {
+			return "", err
+		}
+		return f.Render(), nil
+	})
+	run("sweep", func() (string, error) {
+		s, err := experiments.RunRegistrySweep(*jobs)
 		if err != nil {
 			return "", err
 		}

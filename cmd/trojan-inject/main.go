@@ -1,49 +1,44 @@
-// Command trojan-inject runs the Achilles analysis on the FSP models,
-// starts a live concrete FSP server on a UDP socket, and injects every
-// discovered Trojan message into it — the paper's fire-drill scenario.
+// Command trojan-inject runs the Achilles analysis on a registered target,
+// starts a live concrete server, and injects every discovered Trojan
+// message into it — the paper's fire-drill scenario (§4.1).
+//
+// Usage:
+//
+//	trojan-inject [-target fsp] [-addr 127.0.0.1:0]
+//
+// The target resolves from the protocol registry; an unknown target, or one
+// without a live fire drill, is a usage error.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"achilles/internal/inject"
-	"achilles/internal/protocols/fsp"
+	_ "achilles/internal/protocols"
+	"achilles/internal/protocols/registry"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:0", "UDP address for the live FSP server")
+	targetName := flag.String("target", "fsp", "registered target to fire-drill")
+	addr := flag.String("addr", "127.0.0.1:0", "UDP address for the live server")
 	flag.Parse()
 
-	server := fsp.NewServer()
-	server.FS.Put("fil1", []byte("precious data"))
-	us, err := fsp.ListenUDP(*addr, server)
-	if err != nil {
+	if _, ok := registry.Lookup(*targetName); !ok {
+		fmt.Fprintf(os.Stderr, "trojan-inject: unknown target %q (registered: %s)\n",
+			*targetName, strings.Join(registry.Names(), ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	drill, ok := registry.FireDrill(*targetName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "trojan-inject: target %q has no live fire drill (available: %s)\n",
+			*targetName, strings.Join(registry.FireDrillNames(), ", "))
+		os.Exit(2)
+	}
+	if err := drill(*addr, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "trojan-inject:", err)
 		os.Exit(1)
 	}
-	defer us.Close()
-	fmt.Printf("live FSP server on %s\n", us.Addr())
-
-	client, err := fsp.UDPClient(us.Addr())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "trojan-inject:", err)
-		os.Exit(1)
-	}
-	outcomes, err := inject.FSPFireDrill(client.Send)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "trojan-inject:", err)
-		os.Exit(1)
-	}
-	for _, o := range outcomes {
-		status := "REJECTED"
-		if o.Accepted {
-			status = "ACCEPTED"
-		}
-		fmt.Printf("  trojan #%-3d %v -> %s (%s)\n", o.Trojan.Index, o.Trojan.Concrete, status, o.Effect)
-	}
-	s := inject.Summarize(outcomes)
-	fmt.Printf("fire drill complete: %d/%d Trojans accepted by the live server, %d smuggled-byte events\n",
-		s.Accepted, s.Total, server.SmuggledBytes)
 }

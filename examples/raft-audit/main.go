@@ -1,0 +1,38 @@
+// Raft leader-election audit: find the log-invariant Trojan on the
+// follower model, then demonstrate its impact concretely — a forged
+// RequestVote whose log claim outruns its own term steals an election that
+// a legitimate campaign with the same (empty) log loses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/raft"
+)
+
+func main() {
+	run, err := core.Run(raft.NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("raft follower analysis: %d client path predicates, %d Trojan class(es)\n",
+		len(run.Clients.Paths), len(run.Analysis.Trojans))
+	for _, tr := range run.Analysis.Trojans {
+		fmt.Printf("  %v  fields=%v\n", tr.Concrete, raft.FieldNames)
+	}
+
+	// The fixed follower has none.
+	fixed, err := core.Run(raft.NewFixedTarget(), core.AnalysisOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed follower: %d Trojan class(es)\n", len(fixed.Analysis.Trojans))
+
+	// Impact: inject the forged vote into a live 3-node cluster where the
+	// attacker's log is empty and the other nodes hold committed entries.
+	legit, forged, quorum := raft.StolenElection()
+	fmt.Printf("legitimate campaign (empty log): %d/%d votes — loses\n", legit, quorum)
+	fmt.Printf("forged campaign (Trojan log claim): %d/%d votes — steals the election\n", forged, quorum)
+}

@@ -18,13 +18,16 @@ import (
 	"strings"
 	"time"
 
-	"math/rand"
-
 	"achilles/internal/classic"
 	"achilles/internal/core"
 	"achilles/internal/fuzz"
 	"achilles/internal/protocols/fsp"
 	"achilles/internal/protocols/pbft"
+	"achilles/internal/protocols/registry"
+
+	// Populate the protocol registry: every experiment resolves its targets,
+	// oracles and fuzz generators from there.
+	_ "achilles/internal/protocols"
 )
 
 // Table1 is the §6.2 accuracy comparison on FSP.
@@ -38,21 +41,24 @@ type Table1 struct {
 
 // RunTable1 reproduces Table 1: Achilles vs classic symbolic execution on
 // the bounded FSP setup with 80 known Trojan classes. perPath bounds the
-// classic baseline's per-path enumeration (16 by default).
+// classic baseline's per-path enumeration (16 by default). The target, its
+// ground-truth oracle and the class bucketing all come from the registry
+// descriptor.
 func RunTable1(perPath int) (*Table1, error) {
 	out := &Table1{}
+	d := registry.MustLookup("fsp")
+	tgt := d.Target()
 
 	// Achilles.
-	run, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{})
+	run, err := d.Run(core.ModeOptimized, 0)
 	if err != nil {
 		return nil, err
 	}
 	out.AchillesTime = run.Total()
-	classes := map[[3]int64]bool{}
+	classes := map[string]bool{}
 	for _, tr := range run.Analysis.Trojans {
-		if fsp.IsTrojan(tr.Concrete, false) {
-			cmd, rep, act, _ := fsp.ClassOf(tr.Concrete)
-			classes[[3]int64{cmd, rep, act}] = true
+		if d.Trojan(tr.Concrete, nil) {
+			classes[d.Class(tr.Concrete)] = true
 		} else {
 			out.AchillesFP++
 		}
@@ -60,8 +66,8 @@ func RunTable1(perPath int) (*Table1, error) {
 	out.AchillesTP = len(classes)
 
 	// Classic symbolic execution + enumeration.
-	cres, err := classic.Enumerate(fsp.ServerUnit(), classic.Options{
-		NumFields: fsp.NumFields,
+	cres, err := classic.Enumerate(tgt.Server, classic.Options{
+		NumFields: len(tgt.FieldNames),
 		PerPath:   perPath,
 	})
 	if err != nil {
@@ -69,11 +75,10 @@ func RunTable1(perPath int) (*Table1, error) {
 	}
 	out.ClassicTime = cres.Duration
 	out.ClassicMessages = len(cres.Messages)
-	cclasses := map[[3]int64]bool{}
+	cclasses := map[string]bool{}
 	for _, m := range cres.Messages {
-		if fsp.IsTrojan(m.Fields, false) {
-			cmd, rep, act, _ := fsp.ClassOf(m.Fields)
-			cclasses[[3]int64{cmd, rep, act}] = true
+		if d.Trojan(m.Fields, nil) {
+			cclasses[d.Class(m.Fields)] = true
 		} else {
 			out.ClassicFP++
 		}
@@ -110,7 +115,7 @@ type Figure10 struct {
 // RunFigure10 reproduces Figure 10: the percentage of the 80 known FSP
 // Trojans discovered as a function of server-analysis time.
 func RunFigure10() (*Figure10, error) {
-	run, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{})
+	run, err := registry.MustLookup("fsp").Run(core.ModeOptimized, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -213,19 +218,6 @@ type FuzzComparison struct {
 	FuzzFalsePosRate float64 // accepted-but-not-Trojan per test
 }
 
-// FSPGenerator fuzzes the same fields Achilles analyses: cmd, bb_len and
-// the path bytes; the annotated fields stay at their expected constants
-// (fuzzing them too only makes the baseline worse).
-func FSPGenerator(r *rand.Rand) []int64 {
-	msg := make([]int64, fsp.NumFields)
-	msg[fsp.FieldCmd] = int64(r.Intn(256))
-	msg[fsp.FieldLen] = int64(r.Intn(256))
-	for i := 0; i < fsp.MaxPath; i++ {
-		msg[fsp.FieldBuf+i] = int64(r.Intn(256))
-	}
-	return msg
-}
-
 // TrojanDensity computes, in closed form, the fraction of the fuzzed space
 // (cmd, bb_len, 5 path bytes uniform over 256 values each) that is a
 // mismatched-length Trojan — the analogue of the paper's 66M / 1.8e19.
@@ -244,19 +236,15 @@ func TrojanDensity() float64 {
 }
 
 // RunFuzzComparison measures fuzzing throughput and Trojan yield on the FSP
-// server model and contrasts it with Achilles.
+// server model and contrasts it with Achilles; generator, oracle and class
+// bucketing come from the registry descriptor.
 func RunFuzzComparison(tests int) (*FuzzComparison, error) {
-	res, err := fuzz.Campaign(fsp.ServerUnit(), FSPGenerator,
-		func(m []int64) bool { return fsp.IsTrojan(m, false) },
-		func(m []int64) string {
-			cmd, rep, act, _ := fsp.ClassOf(m)
-			return fmt.Sprintf("%d/%d/%d", cmd, rep, act)
-		},
-		fuzz.Options{Tests: tests, Seed: 1})
+	d := registry.MustLookup("fsp")
+	res, err := d.FuzzCampaign(tests, 1)
 	if err != nil {
 		return nil, err
 	}
-	run, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{})
+	run, err := d.Run(core.ModeOptimized, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +287,7 @@ type PhaseSplit struct {
 // gathering, 15 min preprocessing, 45 min server analysis — shape: client
 // extraction is the cheap phase, server analysis dominates).
 func RunPhaseSplit() (*PhaseSplit, error) {
-	run, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{})
+	run, err := registry.MustLookup("fsp").Run(core.ModeOptimized, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -344,7 +332,7 @@ func RunAblation() (*Ablation, error) {
 	out := &Ablation{}
 	modes := []core.Mode{core.ModeOptimized, core.ModeNoDifferentFrom, core.ModeAPosteriori}
 	for i, mode := range modes {
-		run, err := core.Run(fsp.NewTarget(false), core.AnalysisOptions{Mode: mode})
+		run, err := registry.MustLookup("fsp").Run(mode, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -386,7 +374,7 @@ type PBFTAnalysis struct {
 // attack), discovered in seconds, bundled with valid messages on every
 // accepting path.
 func RunPBFTAnalysis() (*PBFTAnalysis, error) {
-	run, err := core.Run(pbft.NewTarget(), core.AnalysisOptions{})
+	run, err := registry.MustLookup("pbft").Run(core.ModeOptimized, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -458,7 +446,7 @@ type WildcardSummary struct {
 
 // RunWildcard runs the glob-aware FSP analysis.
 func RunWildcard() (*WildcardSummary, error) {
-	run, err := core.Run(fsp.NewTarget(true), core.AnalysisOptions{})
+	run, err := registry.MustLookup("fsp-glob").Run(core.ModeOptimized, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -544,6 +532,132 @@ func (s *Speedup) Render() string {
 	for _, r := range s.Rows {
 		fmt.Fprintf(&b, "  %4d %12s %12s %8d %7.2fx\n",
 			r.Jobs, r.Total.Round(time.Millisecond), r.Server.Round(time.Millisecond), r.Classes, r.Speedup)
+	}
+	return b.String()
+}
+
+// FuzzBaselineRow is the black-box fuzzing baseline for one registry target.
+type FuzzBaselineRow struct {
+	Target   string
+	Tests    int
+	Accepted int
+	Trojans  int
+	Distinct int
+}
+
+// FuzzBaselines is the registry-driven §6.2 fuzzing baseline.
+type FuzzBaselines struct {
+	Rows []FuzzBaselineRow
+}
+
+// RunFuzzBaselines runs each fuzzable registry target's black-box campaign
+// (every target when name is "" or "all"). The per-target generator, oracle
+// and pinned local state come from the descriptor.
+func RunFuzzBaselines(name string, tests int) (*FuzzBaselines, error) {
+	var descs []registry.Descriptor
+	if name == "" || name == "all" {
+		descs = registry.All()
+	} else {
+		d, ok := registry.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown target %q (registered: %s)",
+				name, strings.Join(registry.Names(), ", "))
+		}
+		descs = []registry.Descriptor{d}
+	}
+	out := &FuzzBaselines{}
+	for _, d := range descs {
+		if d.Fuzz == nil {
+			continue
+		}
+		res, err := d.FuzzCampaign(tests, 1)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, FuzzBaselineRow{
+			Target:   d.Name,
+			Tests:    res.Tests,
+			Accepted: res.Accepted,
+			Trojans:  res.Trojans,
+			Distinct: res.Distinct,
+		})
+	}
+	if len(out.Rows) == 0 {
+		return nil, fmt.Errorf("experiments: target %q is not fuzzable", name)
+	}
+	return out, nil
+}
+
+// Render prints the baseline rows.
+func (f *FuzzBaselines) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fuzzing baseline per registry target\n")
+	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %10s\n", "target", "tests", "accepted", "trojans", "classes")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "  %-16s %10d %10d %10d %10d\n", r.Target, r.Tests, r.Accepted, r.Trojans, r.Distinct)
+	}
+	return b.String()
+}
+
+// RegistrySweepRow is one target of the whole-registry analysis sweep.
+type RegistrySweepRow struct {
+	Name        string
+	ClientPaths int
+	Trojans     int
+	Verified    int // reports passing both §4 verification checks
+	Expected    bool
+	OK          bool // Trojan presence matches the descriptor's expectation
+	Total       time.Duration
+}
+
+// RegistrySweep runs the full analysis on every registered target — the
+// "as many scenarios as you can imagine" table: one row per workload, all
+// resolved from the registry, no per-protocol wiring.
+type RegistrySweep struct {
+	Rows        []RegistrySweepRow
+	Parallelism int
+}
+
+// RunRegistrySweep analyses every registry target at the given parallelism.
+func RunRegistrySweep(parallelism int) (*RegistrySweep, error) {
+	out := &RegistrySweep{Parallelism: parallelism}
+	for _, d := range registry.All() {
+		run, err := d.Run(core.ModeOptimized, parallelism)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", d.Name, err)
+		}
+		row := RegistrySweepRow{
+			Name:        d.Name,
+			ClientPaths: len(run.Clients.Paths),
+			Trojans:     len(run.Analysis.Trojans),
+			Expected:    d.ExpectTrojans,
+			Total:       run.Total(),
+		}
+		for _, tr := range run.Analysis.Trojans {
+			if tr.VerifiedAccept && tr.VerifiedNotClient {
+				row.Verified++
+			}
+		}
+		row.OK = (row.Trojans > 0) == d.ExpectTrojans
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the sweep table.
+func (s *RegistrySweep) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Registry sweep (-j %d): full analysis of every registered target\n", s.Parallelism)
+	fmt.Fprintf(&b, "  %-16s %8s %8s %9s %9s %12s %4s\n",
+		"target", "clients", "trojans", "verified", "expected", "total", "ok")
+	for _, r := range s.Rows {
+		expect := "none"
+		if r.Expected {
+			expect = "some"
+		}
+		fmt.Fprintf(&b, "  %-16s %8d %8d %9d %9s %12s %4v\n",
+			r.Name, r.ClientPaths, r.Trojans, r.Verified, expect,
+			r.Total.Round(time.Millisecond), r.OK)
 	}
 	return b.String()
 }

@@ -1,0 +1,105 @@
+package protocols
+
+// The golden-corpus conformance suite: for every registry target, the full
+// pipeline runs at -j 1 and -j 8 and the reported Trojan class set must
+// match the checked-in golden file testdata/<name>.golden exactly. The
+// goldens pin the discovered Trojan classes against regression — a model
+// edit, a solver change or a parallelism bug that alters any target's class
+// set fails here first. Regenerate after an intentional change with:
+//
+//	go test ./internal/protocols -run TestGoldenCorpus -update
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/registry"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden corpus files")
+
+// classLines renders a run's Trojan class set as sorted, stable lines: the
+// symbolic witness, the concrete example, the §3.4 state world (when the
+// target has symbolic local state) and the verification verdicts. Elapsed
+// times, state IDs and report indices are deliberately excluded — they are
+// timing- or scheduling-derived.
+func classLines(run *core.RunResult) []string {
+	lines := make([]string, 0, len(run.Analysis.Trojans))
+	for _, tr := range run.Analysis.Trojans {
+		var st string
+		if len(tr.StateEnv) > 0 {
+			keys := make([]string, 0, len(tr.StateEnv))
+			for k := range tr.StateEnv {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%d", k, tr.StateEnv[k])
+			}
+			st = " state{" + strings.Join(parts, " ") + "}"
+		}
+		lines = append(lines, fmt.Sprintf("%s @ %v%s verified=%v",
+			tr.Witness, tr.Concrete, st, tr.VerifiedAccept && tr.VerifiedNotClient))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// runTarget executes the full two-phase pipeline for a registry target.
+func runTarget(t *testing.T, d registry.Descriptor, jobs int) *core.RunResult {
+	t.Helper()
+	run, err := d.Run(core.ModeOptimized, jobs)
+	if err != nil {
+		t.Fatalf("%s (-j %d): %v", d.Name, jobs, err)
+	}
+	return run
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden")
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	for _, d := range registry.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			seq := classLines(runTarget(t, d, 1))
+			par := classLines(runTarget(t, d, 8))
+			if !slices.Equal(seq, par) {
+				t.Fatalf("-j 1 and -j 8 disagree:\n-j1:\n%s\n-j8:\n%s",
+					strings.Join(seq, "\n"), strings.Join(par, "\n"))
+			}
+
+			content := strings.Join(seq, "\n") + "\n"
+			if len(seq) == 0 {
+				content = ""
+			}
+			path := goldenPath(d.Name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with -update to create): %v", path, err)
+			}
+			if string(want) != content {
+				t.Errorf("Trojan class set diverged from %s\n--- golden ---\n%s--- got ---\n%s",
+					path, want, content)
+			}
+		})
+	}
+}

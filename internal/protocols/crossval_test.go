@@ -1,0 +1,79 @@
+package protocols
+
+// The §4 soundness guard as a standing test: every Trojan report of every
+// registry target is replayed through the protocol's concrete Go
+// implementation (which must accept it) and through the ground-truth fuzz
+// oracle (which must label it Trojan). Targets whose descriptor expects no
+// Trojans (the -fixed variants) must report none.
+import (
+	"strings"
+	"testing"
+
+	"achilles/internal/protocols/registry"
+)
+
+// reportState converts a report's engine-facing state world ("state_x"
+// variables) into the descriptor's State form, or nil when the target ran
+// without symbolic local state (the descriptor then falls back to its
+// canonical DefaultState).
+func reportState(env map[string]int64) registry.State {
+	if len(env) == 0 {
+		return nil
+	}
+	st := registry.State{}
+	for k, v := range env {
+		st[strings.TrimPrefix(k, "state_")] = v
+	}
+	return st
+}
+
+func TestCrossValidation(t *testing.T) {
+	for _, d := range registry.All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			run := runTarget(t, d, 4)
+			if got := len(run.Analysis.Trojans) > 0; got != d.ExpectTrojans {
+				t.Fatalf("trojans found=%v, descriptor expects %v (%d reports)",
+					got, d.ExpectTrojans, len(run.Analysis.Trojans))
+			}
+			for _, tr := range run.Analysis.Trojans {
+				st := reportState(tr.StateEnv)
+
+				if !tr.VerifiedNotClient {
+					t.Errorf("trojan %v: not verified non-client", tr.Concrete)
+				}
+				if d.IsTrojan != nil && !d.Trojan(tr.Concrete, st) {
+					t.Errorf("trojan %v (state %v): rejected by the ground-truth oracle",
+						tr.Concrete, st)
+				}
+				if accepted, ok := d.Replay(tr.Concrete, st); ok && !accepted {
+					t.Errorf("trojan %v (state %v): rejected by the concrete implementation",
+						tr.Concrete, st)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryDescriptorsComplete pins the registry's shape: the five
+// canonical protocol families are present, and every entry carries the
+// pieces all drivers rely on. The oracle, implementation replay and fuzz
+// spec are optional per the Descriptor contract — the suites above simply
+// skip what is absent — so only the universally required pieces are
+// checked here.
+func TestRegistryDescriptorsComplete(t *testing.T) {
+	for _, name := range []string{"fsp", "pbft", "paxos", "kv", "raft"} {
+		if _, ok := registry.Lookup(name); !ok {
+			t.Errorf("canonical target %q missing from the registry", name)
+		}
+	}
+	for _, d := range registry.All() {
+		if d.Summary == "" {
+			t.Errorf("%s: missing summary", d.Name)
+		}
+		if tgt := d.Target(); tgt.Server == nil || len(tgt.Clients) == 0 || len(tgt.FieldNames) == 0 {
+			t.Errorf("%s: incomplete target", d.Name)
+		}
+	}
+}

@@ -252,6 +252,28 @@ func cmdCode(name string) int64 {
 	panic("fsp: unknown command " + name)
 }
 
+// ImplAccepts replays an analysis field-vector message through a fresh
+// concrete server over the real wire format. The annotated header fields
+// must sit at the constants the analysis masked (EncodeFields restores the
+// real checksum in their place). A reply — or a failed filesystem action
+// such as "not found" — counts as accepted: the packet passed every
+// validation check and the server attempted the operation, which is the
+// model's accept marker.
+func ImplAccepts(msg []int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldSum] != 0 || msg[FieldKey] != 0 || msg[FieldSeq] != 0 || msg[FieldPos] != 0 {
+		return false
+	}
+	pkt, err := EncodeFields(msg)
+	if err != nil {
+		return false
+	}
+	_, err = NewServer().Handle(pkt)
+	return err == nil || errors.Is(err, ErrNotFound) || errors.Is(err, ErrExists)
+}
+
 // Client is the concrete glob-expanding FSP client.
 type Client struct {
 	// Send delivers a packet to the server and returns the reply (UDP in

@@ -1,0 +1,55 @@
+package fsp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/registry"
+)
+
+// Generator fuzzes the same fields Achilles analyses: cmd, bb_len and the
+// path bytes; the annotated fields stay at their expected constants
+// (fuzzing them too only makes the baseline worse — §6.2).
+func Generator(r *rand.Rand) []int64 {
+	msg := make([]int64, NumFields)
+	msg[FieldCmd] = int64(r.Intn(256))
+	msg[FieldLen] = int64(r.Intn(256))
+	for i := 0; i < MaxPath; i++ {
+		msg[FieldBuf+i] = int64(r.Intn(256))
+	}
+	return msg
+}
+
+// ClassKey buckets a Trojan by its (cmd, reportedLen, trueLen) class — the
+// §6.2 ground-truth classes.
+func ClassKey(msg []int64) string {
+	cmd, rep, act, _ := ClassOf(msg)
+	return fmt.Sprintf("%d/%d/%d", cmd, rep, act)
+}
+
+func implAccepts(msg []int64, _ registry.State) bool { return ImplAccepts(msg) }
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:          "fsp",
+		Aliases:       []string{"fsp-accuracy"},
+		Summary:       "FSP file server: 80 mismatched-length Trojan classes (§6.2)",
+		Target:        func() core.Target { return NewTarget(false) },
+		ExpectTrojans: true,
+		IsTrojan:      func(msg []int64, _ registry.State) bool { return IsTrojan(msg, false) },
+		ClassKey:      ClassKey,
+		ImplAccepts:   implAccepts,
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:          "fsp-glob",
+		Summary:       "FSP with glob-aware clients: adds the wildcard Trojan family (§6.3)",
+		Target:        func() core.Target { return NewTarget(true) },
+		ExpectTrojans: true,
+		IsTrojan:      func(msg []int64, _ registry.State) bool { return IsTrojan(msg, true) },
+		ClassKey:      ClassKey,
+		ImplAccepts:   implAccepts,
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+}

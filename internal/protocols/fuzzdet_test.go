@@ -1,0 +1,44 @@
+package protocols
+
+// Fuzz-baseline determinism: for every registry target, a campaign with a
+// fixed seed must produce the identical Tests/Accepted/Trojans/Distinct
+// counts on every run — the baseline numbers in EXPERIMENTS.md are
+// reproducible, not one-off samples.
+import (
+	"testing"
+
+	"achilles/internal/protocols/registry"
+)
+
+func TestFuzzBaselineDeterminism(t *testing.T) {
+	const tests, seed = 3000, 7
+	for _, d := range registry.All() {
+		if d.Fuzz == nil {
+			continue
+		}
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			t.Parallel()
+			first, err := d.FuzzCampaign(tests, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := d.FuzzCampaign(tests, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if first.Tests != second.Tests || first.Accepted != second.Accepted ||
+				first.Trojans != second.Trojans || first.Distinct != second.Distinct {
+				t.Fatalf("same seed, different results:\nfirst:  %+v\nsecond: %+v", first, second)
+			}
+			if first.Tests != tests {
+				t.Fatalf("campaign ran %d tests, want %d", first.Tests, tests)
+			}
+			// Oracle sanity: a fixed target's campaign must label no accepted
+			// message as Trojan.
+			if !d.ExpectTrojans && first.Trojans != 0 {
+				t.Fatalf("fixed target hit %d fuzz Trojans", first.Trojans)
+			}
+		})
+	}
+}

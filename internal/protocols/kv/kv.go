@@ -171,6 +171,36 @@ func CRC(sender, request, address, value int64) int64 {
 	return sender + request + address + value
 }
 
+// Accepts mirrors the vulnerable server model's accept condition — the fast
+// oracle for the fuzzing baseline; the NL interpreter agrees with it (see
+// the cross-validation test).
+func Accepts(msg []int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldSender] < 0 || msg[FieldSender] >= NumPeers {
+		return false
+	}
+	if msg[FieldCRC] != CRC(msg[FieldSender], msg[FieldRequest], msg[FieldAddress], msg[FieldValue]) {
+		return false
+	}
+	switch msg[FieldRequest] {
+	case OpRead:
+		return msg[FieldAddress] < DataSize
+	case OpWrite:
+		return msg[FieldAddress] >= 0 && msg[FieldAddress] < DataSize
+	}
+	return false
+}
+
+// IsTrojan is the ground-truth oracle: an accepted READ that no correct
+// client generates — a negative address (the §2 privacy leak) or a nonzero
+// value field (clients zero it on READs; the paper's fix checks both).
+func IsTrojan(msg []int64) bool {
+	return Accepts(msg) && msg[FieldRequest] == OpRead &&
+		(msg[FieldAddress] < 0 || msg[FieldValue] != 0)
+}
+
 // ValidMessage builds a correct client message.
 func ValidMessage(sender, request, address, value int64) []int64 {
 	return []int64{sender, request, address, value, CRC(sender, request, address, value)}

@@ -1,0 +1,59 @@
+package kv
+
+import (
+	"errors"
+	"math/rand"
+
+	"achilles/internal/protocols/registry"
+)
+
+// Generator fuzzes the fields Achilles analyses with the checksum held at
+// its correct value (fuzzing it too only makes the baseline astronomically
+// worse — the paper's §6.2 convention): senders in range, both operations,
+// addresses straddling the missing lower-bound check.
+func Generator(r *rand.Rand) []int64 {
+	sender := int64(r.Intn(NumPeers))
+	request := int64(1 + r.Intn(2))
+	address := int64(r.Intn(2*DataSize+20)) - DataSize - 10
+	value := int64(r.Intn(4))
+	return ValidMessage(sender, request, address, value)
+}
+
+// ClassKey buckets Trojans by which client invariant the READ violates.
+func ClassKey(msg []int64) string {
+	if msg[FieldAddress] < 0 {
+		return "read-negative-address"
+	}
+	return "read-nonzero-value"
+}
+
+// implAccepts replays the message through the concrete server. An
+// out-of-bounds crash still counts as accepted: the message passed every
+// validation check and reached the data access — the Trojan's worst-case
+// impact, not a rejection.
+func implAccepts(msg []int64, _ registry.State) bool {
+	_, err := NewConcreteServer([]int64{41, 42, 43}).Handle(msg)
+	return err == nil || errors.Is(err, ErrCrash)
+}
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:          "kv",
+		Summary:       "§2 read/write KV server: READ misses the negative-address check",
+		Target:        NewTarget,
+		ExpectTrojans: true,
+		IsTrojan:      func(msg []int64, _ registry.State) bool { return IsTrojan(msg) },
+		ClassKey:      ClassKey,
+		ImplAccepts:   implAccepts,
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:        "kv-fixed",
+		Summary:     "KV server hardened per the paper's prescription: no Trojans",
+		Target:      NewFixedTarget,
+		IsTrojan:    func(msg []int64, _ registry.State) bool { return IsTrojan(msg) },
+		ClassKey:    ClassKey,
+		ImplAccepts: implAccepts,
+		Fuzz:        &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+}

@@ -134,3 +134,14 @@ func (g *Group) Learn(indices []int) (int64, bool) {
 func (g *Group) InjectAccept(acceptor int, ballot, value int64) bool {
 	return g.Acceptors[acceptor].Accept(ballot, value)
 }
+
+// ImplAccepts replays an analysis field-vector message through a concrete
+// acceptor that has promised the given ballot (the analysed phase-2 world).
+func ImplAccepts(msg []int64, promised int64) bool {
+	if len(msg) != NumFields || msg[FieldType] != MsgAccept {
+		return false
+	}
+	a := &Acceptor{}
+	a.Prepare(promised)
+	return a.Accept(msg[FieldBallot], msg[FieldValue])
+}

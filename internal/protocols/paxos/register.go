@@ -1,0 +1,88 @@
+package paxos
+
+import (
+	"math/rand"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/registry"
+)
+
+// The canonical phase-2 world analysed by the bundled targets and pinned
+// for the fuzz baseline: ballot 3, proposed value 7.
+const (
+	StateBallot = 3
+	StateValue  = 7
+)
+
+// DefaultState is the canonical concrete world.
+func DefaultState() map[string]int64 {
+	return map[string]int64{"ballot": StateBallot, "proposedValue": StateValue}
+}
+
+// Generator fuzzes the phase-2 message over small domains straddling the
+// analysed world.
+func Generator(r *rand.Rand) []int64 {
+	return []int64{
+		int64(1 + r.Intn(2)), // type: PREPARE or ACCEPT
+		int64(r.Intn(6)),     // ballot: straddles the promise
+		int64(r.Intn(10)),    // value: sometimes the proposed one
+	}
+}
+
+// IsTrojan is the ground-truth oracle in a given world: an Accept the
+// acceptor takes (ballot matches its promise) carrying a value the ballot's
+// proposer never chose.
+func IsTrojan(msg []int64, ballot, proposedValue int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	return msg[FieldType] == MsgAccept && msg[FieldBallot] == ballot &&
+		msg[FieldValue] != proposedValue
+}
+
+// ClassKey: a single Trojan type — a foreign value under a valid ballot.
+func ClassKey(msg []int64) string { return "accept-foreign-value" }
+
+func oracle(msg []int64, st registry.State) bool {
+	return IsTrojan(msg, st["ballot"], st["proposedValue"])
+}
+
+func implAccepts(msg []int64, st registry.State) bool {
+	return ImplAccepts(msg, st["ballot"])
+}
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:          "paxos",
+		Aliases:       []string{"paxos-symbolic"},
+		Summary:       "Paxos acceptor, symbolic local state (§3.4): unvalidated Accept value",
+		Target:        SymbolicStateTarget,
+		DefaultState:  DefaultState(),
+		ExpectTrojans: true,
+		IsTrojan:      oracle,
+		ClassKey:      ClassKey,
+		ImplAccepts:   implAccepts,
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:          "paxos-concrete",
+		Summary:       "Paxos acceptor, concrete local state (§3.4): ballot 3, value 7",
+		Target:        func() core.Target { return ConcreteStateTarget(StateBallot, StateValue) },
+		DefaultState:  DefaultState(),
+		ExpectTrojans: true,
+		IsTrojan:      oracle,
+		ClassKey:      ClassKey,
+		ImplAccepts:   implAccepts,
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:         "paxos-fixed",
+		Summary:      "Paxos acceptor validating the value: no Trojans",
+		Target:       FixedSymbolicTarget,
+		DefaultState: DefaultState(),
+		IsTrojan:     oracle,
+		ClassKey:     ClassKey,
+		ImplAccepts:  implAccepts,
+		Fuzz:         &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+}

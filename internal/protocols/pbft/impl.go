@@ -195,6 +195,40 @@ func (c *Cluster) Submit(req ClusterRequest) bool {
 // Executed returns how many requests a replica has executed.
 func (r *Replica) Executed() int { return r.executed }
 
+// ImplAccepts replays an analysis field-vector message through a fresh
+// concrete cluster. The wire framing the decoder enforces (tag, size,
+// digest, command size) must sit at its constants; the MAC field selects
+// correct authenticators (AuthConst) or corrupted ones (the Trojan shape).
+// Accepted means the primary ordered the request — it either committed, or
+// a backup detected the corrupted authenticator mid-protocol and forced a
+// recovery round, which is exactly the MAC attack succeeding.
+func ImplAccepts(msg []int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldTag] != TagRequest || msg[FieldSize] != MsgSize ||
+		msg[FieldOD] != 0 || msg[FieldCmdSize] != CmdLen {
+		return false
+	}
+	if msg[FieldCID] < 0 || msg[FieldCID] >= NumClients {
+		return false
+	}
+	if msg[FieldRID] < 0 { // fresh cluster: no previous request id
+		return false
+	}
+	if msg[FieldExtra] != 0 && msg[FieldExtra] != 1 {
+		return false
+	}
+	c := NewCluster(1, NumClients)
+	req := c.NewRequest(msg[FieldCID], msg[FieldRID],
+		[]byte{byte(msg[FieldCmd0]), byte(msg[FieldCmd1])})
+	if msg[FieldMAC] != AuthConst {
+		req = CorruptMACs(req)
+	}
+	committed := c.Submit(req)
+	return committed || c.Metrics.Recoveries > 0
+}
+
 // AttackWorkload runs total requests of which every attackEvery-th carries
 // corrupted authenticators (attackEvery <= 0 disables the attack), and
 // returns the metrics.

@@ -1,0 +1,50 @@
+package pbft
+
+import (
+	"math/rand"
+
+	"achilles/internal/protocols/registry"
+)
+
+// Generator fuzzes the request fields with the annotated digest held at its
+// constant; the MAC field — the one the replica fails to verify — is fuzzed
+// over {0, 1} so the baseline can hit the Trojan at all.
+func Generator(r *rand.Rand) []int64 {
+	return []int64{
+		int64(1 + r.Intn(2)),  // tag: REQUEST or garbage
+		int64(r.Intn(3)),      // extra: read-only flag or garbage
+		int64(40 + r.Intn(8)), // size: straddles MSGSIZE
+		0,                     // od: annotated constant
+		int64(r.Intn(2)),      // replier
+		int64(r.Intn(4)),      // command_size: straddles CMDLEN
+		int64(r.Intn(6)) - 1,  // cid: straddles [0, NCLIENTS)
+		int64(r.Intn(3)),      // rid
+		int64(r.Intn(3)),      // command bytes
+		int64(r.Intn(3)),
+		int64(r.Intn(2)), // mac: valid or corrupted
+	}
+}
+
+// ClassKey: PBFT has a single Trojan type — the corrupted authenticator.
+func ClassKey(msg []int64) string { return "corrupted-mac" }
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:          "pbft",
+		Summary:       "PBFT primary replica: MAC never verified before Pre_prepare (§6.2)",
+		Target:        NewTarget,
+		ExpectTrojans: true,
+		IsTrojan:      func(msg []int64, _ registry.State) bool { return IsTrojan(msg) },
+		ClassKey:      ClassKey,
+		ImplAccepts:   func(msg []int64, _ registry.State) bool { return ImplAccepts(msg) },
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:     "pbft-fixed",
+		Summary:  "PBFT replica verifying the authenticator first: no Trojans",
+		Target:   NewFixedTarget,
+		IsTrojan: func(msg []int64, _ registry.State) bool { return IsTrojan(msg) },
+		ClassKey: ClassKey,
+		Fuzz:     &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+}

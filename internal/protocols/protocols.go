@@ -1,0 +1,65 @@
+// Package protocols assembles the full catalog of bundled workloads: it
+// pulls in every protocol package for its registry registration (the same
+// blank-import idiom as database/sql drivers) and attaches the capabilities
+// that live above the individual protocol packages, such as the FSP live
+// fire drill (which depends on internal/inject and therefore cannot be
+// registered from the fsp package itself).
+//
+// Importing this package — as cmd/achilles, cmd/benchtab, cmd/trojan-inject
+// and internal/experiments do — is all it takes to resolve any bundled
+// target by name via internal/protocols/registry. A new workload is a
+// one-package drop-in: write the models, oracles and generator, call
+// registry.Register from an init function, and add the blank import here.
+package protocols
+
+import (
+	"fmt"
+	"io"
+
+	"achilles/internal/inject"
+	"achilles/internal/protocols/fsp"
+	"achilles/internal/protocols/registry"
+
+	_ "achilles/internal/protocols/kv"
+	_ "achilles/internal/protocols/paxos"
+	_ "achilles/internal/protocols/pbft"
+	_ "achilles/internal/protocols/raft"
+)
+
+func init() {
+	registry.RegisterFireDrill("fsp", fspFireDrill)
+}
+
+// fspFireDrill runs the paper's §4.1 scenario end to end: a live concrete
+// FSP server on a UDP socket, the glob-aware analysis, and every discovered
+// Trojan example injected over the wire.
+func fspFireDrill(addr string, out io.Writer) error {
+	server := fsp.NewServer()
+	server.FS.Put("fil1", []byte("precious data"))
+	us, err := fsp.ListenUDP(addr, server)
+	if err != nil {
+		return err
+	}
+	defer us.Close()
+	fmt.Fprintf(out, "live FSP server on %s\n", us.Addr())
+
+	client, err := fsp.UDPClient(us.Addr())
+	if err != nil {
+		return err
+	}
+	outcomes, err := inject.FSPFireDrill(client.Send)
+	if err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		status := "REJECTED"
+		if o.Accepted {
+			status = "ACCEPTED"
+		}
+		fmt.Fprintf(out, "  trojan #%-3d %v -> %s (%s)\n", o.Trojan.Index, o.Trojan.Concrete, status, o.Effect)
+	}
+	s := inject.Summarize(outcomes)
+	fmt.Fprintf(out, "fire drill complete: %d/%d Trojans accepted by the live server, %d smuggled-byte events\n",
+		s.Accepted, s.Total, server.SmuggledBytes)
+	return nil
+}

@@ -1,0 +1,235 @@
+package raft
+
+import "fmt"
+
+// This file is the concrete Go Raft leader-election implementation matching
+// the NL models. Its role is the impact demonstration: injecting the forged
+// RequestVote Trojan (a log claim outrunning its own term) into a live
+// cluster elects a candidate with an empty log over candidates holding
+// committed entries — the election-safety violation behind the modelled
+// vulnerability.
+
+// Entry is one log entry (only the term matters for election safety).
+type Entry struct {
+	Term int64
+}
+
+// None marks an empty votedFor slot.
+const None int64 = -1
+
+// Node is one Raft node, reduced to the election-relevant state.
+type Node struct {
+	ID          int64
+	CurrentTerm int64
+	VotedFor    int64
+	Log         []Entry
+	// Fixed enables the hardened vote handler (the FixedServerSrc checks).
+	Fixed bool
+}
+
+// NewNode builds a follower with the given log.
+func NewNode(id int64, logTerms ...int64) *Node {
+	n := &Node{ID: id, VotedFor: None}
+	for _, t := range logTerms {
+		n.Log = append(n.Log, Entry{Term: t})
+	}
+	return n
+}
+
+// LastLog returns the node's log tail (index is 1-based; 0,0 for empty).
+func (n *Node) LastLog() (index, term int64) {
+	if len(n.Log) == 0 {
+		return 0, 0
+	}
+	return int64(len(n.Log)), n.Log[len(n.Log)-1].Term
+}
+
+// bump adopts a higher term, clearing the vote (Raft §5.1).
+func (n *Node) bump(term int64) {
+	if term > n.CurrentTerm {
+		n.CurrentTerm = term
+		n.VotedFor = None
+	}
+}
+
+// HandleRequestVote processes a RequestVote RPC and reports whether the
+// vote was granted. The vulnerable handler performs the §5.4.1 up-to-date
+// comparison but — like the NL model — never validates the candidate's log
+// claim against the candidate's term.
+func (n *Node) HandleRequestVote(term, candidate, lastLogIndex, lastLogTerm int64) bool {
+	if candidate < 0 || candidate >= NumPeers {
+		return false
+	}
+	if term < n.CurrentTerm {
+		return false
+	}
+	if lastLogIndex < 0 || lastLogTerm < 0 {
+		return false
+	}
+	if n.Fixed {
+		// The FixedServerSrc invariants: candidate logs cannot reach their
+		// campaign term, and an empty log has last term 0.
+		if lastLogTerm >= term {
+			return false
+		}
+		if lastLogIndex == 0 && lastLogTerm != 0 {
+			return false
+		}
+	}
+	n.bump(term)
+	if n.VotedFor != None && n.VotedFor != candidate {
+		return false
+	}
+	myIdx, myTerm := n.LastLog()
+	// §5.4.1 up-to-date comparison — trusting the claim is the bug.
+	if lastLogTerm > myTerm || (lastLogTerm == myTerm && lastLogIndex >= myIdx) {
+		n.VotedFor = candidate
+		return true
+	}
+	return false
+}
+
+// HandleAppendEntries processes a heartbeat and reports whether the
+// follower accepted it (prev entry consistency check only).
+func (n *Node) HandleAppendEntries(term, leader, prevLogIndex, prevLogTerm int64) bool {
+	if leader < 0 || leader >= NumPeers {
+		return false
+	}
+	if term < n.CurrentTerm {
+		return false
+	}
+	if prevLogIndex < 0 || prevLogTerm < 0 {
+		return false
+	}
+	if n.Fixed {
+		if prevLogTerm > term {
+			return false
+		}
+		if prevLogIndex == 0 && prevLogTerm != 0 {
+			return false
+		}
+	}
+	n.bump(term)
+	myIdx, myTerm := n.LastLog()
+	return prevLogIndex == myIdx && prevLogTerm == myTerm
+}
+
+// Handle dispatches an analysis field-vector message to the node, mirroring
+// the NL server model; it reports whether the message was accepted (vote
+// granted / heartbeat acknowledged).
+func (n *Node) Handle(msg []int64) (bool, error) {
+	if len(msg) != NumFields {
+		return false, fmt.Errorf("raft: bad message size %d", len(msg))
+	}
+	switch msg[FieldType] {
+	case MsgRequestVote:
+		return n.HandleRequestVote(msg[FieldTerm], msg[FieldNode], msg[FieldLogIdx], msg[FieldLogTerm]), nil
+	case MsgAppendEntries:
+		return n.HandleAppendEntries(msg[FieldTerm], msg[FieldNode], msg[FieldLogIdx], msg[FieldLogTerm]), nil
+	}
+	return false, nil
+}
+
+// NodeInWorld builds a fresh follower matching an analysis state world: at
+// currentTerm with a log of lastLogIndex entries ending in lastLogTerm.
+func NodeInWorld(currentTerm, lastLogIndex, lastLogTerm int64, fixed bool) *Node {
+	n := NewNode(0)
+	n.CurrentTerm = currentTerm
+	n.Fixed = fixed
+	for i := int64(1); i < lastLogIndex; i++ {
+		term := min(int64(1), lastLogTerm)
+		n.Log = append(n.Log, Entry{Term: term})
+	}
+	if lastLogIndex > 0 {
+		n.Log = append(n.Log, Entry{Term: lastLogTerm})
+	}
+	return n
+}
+
+// Cluster is a set of nodes for the election demonstration.
+type Cluster struct {
+	Nodes []*Node
+}
+
+// NewCluster builds n followers; node i's log is seeded by logs[i] (nil
+// entries mean an empty log).
+func NewCluster(logs ...[]int64) *Cluster {
+	c := &Cluster{}
+	for i, terms := range logs {
+		c.Nodes = append(c.Nodes, NewNode(int64(i), terms...))
+	}
+	return c
+}
+
+// Quorum size.
+func (c *Cluster) Quorum() int { return len(c.Nodes)/2 + 1 }
+
+// Campaign runs a legitimate election: candidate idx increments its term
+// and requests votes with its real log tail. It returns whether the
+// candidate won.
+func (c *Cluster) Campaign(idx int) bool {
+	cand := c.Nodes[idx]
+	cand.CurrentTerm++
+	cand.VotedFor = cand.ID
+	lastIdx, lastTm := cand.LastLog()
+	votes := 1
+	for i, n := range c.Nodes {
+		if i == idx {
+			continue
+		}
+		if n.HandleRequestVote(cand.CurrentTerm, cand.ID, lastIdx, lastTm) {
+			votes++
+		}
+	}
+	return votes >= c.Quorum()
+}
+
+// InjectVote delivers a raw RequestVote message to every other node on
+// behalf of candidate idx — the concrete injection vector for the Trojan
+// Achilles reports on the follower model — and returns the votes gathered
+// (including the candidate's own).
+func (c *Cluster) InjectVote(idx int, msg []int64) int {
+	votes := 1
+	for i, n := range c.Nodes {
+		if i == idx {
+			continue
+		}
+		if granted, _ := n.Handle(msg); granted {
+			votes++
+		}
+	}
+	return votes
+}
+
+// StolenElection demonstrates the Trojan's impact on a 3-node cluster
+// where nodes 1 and 2 hold committed entries and node 0 has an empty log:
+// a legitimate campaign by node 0 loses (its log is not up to date), but
+// the forged RequestVote — same term, log claim outrunning it — wins a
+// quorum, electing a leader that would erase the committed entries. It
+// returns the legitimate and forged vote counts and the quorum size.
+func StolenElection() (legit, forged, quorum int) {
+	logs := [][]int64{nil, {1, 2, 2}, {1, 2, 2}}
+	c := NewCluster(logs...)
+	for _, n := range c.Nodes {
+		n.CurrentTerm = 2
+	}
+	legit = 1
+	cand := c.Nodes[0]
+	cand.CurrentTerm++
+	cand.VotedFor = cand.ID
+	lastIdx, lastTm := cand.LastLog()
+	for i, n := range c.Nodes {
+		if i != 0 && n.HandleRequestVote(cand.CurrentTerm, cand.ID, lastIdx, lastTm) {
+			legit++
+		}
+	}
+
+	c2 := NewCluster(logs...)
+	for _, n := range c2.Nodes {
+		n.CurrentTerm = 2
+	}
+	c2.Nodes[0].CurrentTerm++
+	c2.Nodes[0].VotedFor = 0
+	forged = c2.InjectVote(0, ForgedVote(0, c2.Nodes[0].CurrentTerm, 9))
+	return legit, forged, c2.Quorum()
+}

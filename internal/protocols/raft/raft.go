@@ -1,0 +1,359 @@
+// Package raft models Raft leader election (Ongaro-Ousterhout §5.2/§5.4) as
+// an Achilles target: a follower handling RequestVote and AppendEntries
+// messages, plus the correct candidate and leader clients that generate
+// them.
+//
+// The analysed message is the five-field election RPC header:
+//
+//	type(1) term(1) nodeId(1) lastLogIndex(1) lastLogTerm(1)
+//
+// shared by both RPCs (for AppendEntries the last two fields are
+// prevLogIndex/prevLogTerm of the heartbeat consistency check).
+//
+// The seeded vulnerability is a log-invariant Trojan in the vote handler:
+// the follower grants votes using the §5.4.1 up-to-date comparison
+// (lastLogTerm/lastLogIndex against its own log) and checks that the
+// candidate's term is current — but never validates the candidate's log
+// claim against its term. Correct candidates cannot violate that binding:
+// a node's log never contains entries from a term beyond its currentTerm,
+// and a candidate campaigns at currentTerm+1, so every real RequestVote has
+// lastLogTerm < term (and an empty log claims lastLogTerm == 0). A forged
+// RequestVote with a stale term but a fresh log claim (lastLogTerm >= term,
+// e.g. term=3 with lastLogTerm=9) — or an empty log claiming a non-zero
+// last term — wins the up-to-date comparison against every honest log and
+// steals votes no correct candidate could collect, electing a leader whose
+// log may miss committed entries (an election-safety violation demonstrated
+// concretely in impl.go). Consensus protocols are exactly where such
+// unintended accepted-message space hides (Jaskolka, "Evaluating the
+// Exploitability of Implicit Interactions in Distributed Systems").
+package raft
+
+import (
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+)
+
+// Message field indices.
+const (
+	FieldType    = 0
+	FieldTerm    = 1
+	FieldNode    = 2 // candidateId (RequestVote) / leaderId (AppendEntries)
+	FieldLogIdx  = 3 // lastLogIndex / prevLogIndex
+	FieldLogTerm = 4 // lastLogTerm / prevLogTerm
+	NumFields    = 5
+)
+
+// Message types.
+const (
+	MsgRequestVote   = 1
+	MsgAppendEntries = 2
+)
+
+// NumPeers matches NPEERS in the models.
+const NumPeers = 5
+
+// TermBound matches MAXTERM in the models: the analysis explores the
+// bounded election world of terms 1..TermBound, one client path per
+// campaign term — the same bounded-world idiom the FSP models use for path
+// lengths (the paper's bound of 5). Concrete per-path terms are what make
+// the term/log-term coupling expressible to the §3.2 per-field negate
+// operator: `lastLogTerm < term` is relational and would be abandoned, but
+// `lastLogTerm < 4` on the term-4 path is an exact single-field negation.
+// LogBound likewise bounds the advertised log index (MAXLOG).
+const (
+	TermBound = 4
+	LogBound  = 4
+)
+
+// The canonical follower world used by the bundled target, the fuzz
+// baseline and the oracles: a follower at term 2 whose log ends at
+// index 2 with an entry from term 1.
+const (
+	StateTerm    = 2
+	StateLogIdx  = 2
+	StateLogTerm = 1
+)
+
+// FieldNames names the message layout for reports.
+var FieldNames = []string{"type", "term", "node", "lastLogIndex", "lastLogTerm"}
+
+// ServerSrc is the NL model of a follower handling election RPCs. The
+// follower's own state (currentTerm, lastLogIndex, lastLogTerm) is
+// protocol-local state, pinned concretely per analysis (§3.4 Concrete Local
+// State mode).
+const ServerSrc = `
+const VOTE = 1;
+const APPEND = 2;
+const NPEERS = 5;
+const MAXTERM = 4;
+const MAXLOG = 4;
+var currentTerm int;
+var lastLogIndex int;
+var lastLogTerm int;
+var msg [5]int;
+
+func main() {
+	recv(msg);
+	if msg[2] < 0 { reject(); }
+	if msg[2] >= NPEERS { reject(); }
+	if msg[1] < currentTerm { reject(); }
+	// Bounded election world: terms and log indices beyond the bounds are
+	// outside the analysed corpus (the FSP models bound path length the
+	// same way).
+	if msg[1] > MAXTERM { reject(); }
+	if msg[3] < 0 { reject(); }
+	if msg[3] > MAXLOG { reject(); }
+	if msg[4] < 0 { reject(); }
+	if msg[4] > MAXTERM { reject(); }
+	if msg[0] == VOTE {
+		// BUG (log-invariant Trojan): the up-to-date comparison below trusts
+		// the candidate's log claim without checking it against the
+		// candidate's own term — no correct candidate sends
+		// lastLogTerm >= term, nor an empty log with a non-zero last term.
+		if msg[4] > lastLogTerm { accept(); }
+		if msg[4] == lastLogTerm {
+			if msg[3] >= lastLogIndex { accept(); }
+		}
+		reject();
+	}
+	if msg[0] == APPEND {
+		// Heartbeat consistency check: prev entry must match our log tail.
+		if msg[3] != lastLogIndex { reject(); }
+		if msg[4] != lastLogTerm { reject(); }
+		accept();
+	}
+	reject();
+}`
+
+// FixedServerSrc enforces the candidate/leader log invariants before the
+// up-to-date comparison — "do what correct clients require and not one bit
+// more". Achilles must find no Trojans in it.
+const FixedServerSrc = `
+const VOTE = 1;
+const APPEND = 2;
+const NPEERS = 5;
+const MAXTERM = 4;
+const MAXLOG = 4;
+var currentTerm int;
+var lastLogIndex int;
+var lastLogTerm int;
+var msg [5]int;
+
+func main() {
+	recv(msg);
+	if msg[2] < 0 { reject(); }
+	if msg[2] >= NPEERS { reject(); }
+	if msg[1] < currentTerm { reject(); }
+	if msg[1] > MAXTERM { reject(); }
+	if msg[3] < 0 { reject(); }
+	if msg[3] > MAXLOG { reject(); }
+	if msg[4] < 0 { reject(); }
+	if msg[4] > MAXTERM { reject(); }
+	if msg[0] == VOTE {
+		// Fixed: a candidate's log cannot contain entries from its own
+		// campaign term or beyond, and an empty log has last term 0.
+		if msg[4] >= msg[1] { reject(); }
+		if msg[3] == 0 {
+			if msg[4] != 0 { reject(); }
+		}
+		if msg[4] > lastLogTerm { accept(); }
+		if msg[4] == lastLogTerm {
+			if msg[3] >= lastLogIndex { accept(); }
+		}
+		reject();
+	}
+	if msg[0] == APPEND {
+		// Fixed: a leader's log may contain current-term entries but none
+		// beyond, and an empty log has last term 0.
+		if msg[4] > msg[1] { reject(); }
+		if msg[3] == 0 {
+			if msg[4] != 0 { reject(); }
+		}
+		if msg[3] != lastLogIndex { reject(); }
+		if msg[4] != lastLogTerm { reject(); }
+		accept();
+	}
+	reject();
+}`
+
+// CandidateSrc is the NL model of a correct candidate starting an election.
+// The campaign term is enumerated concretely (one execution path per term
+// in 1..MAXTERM, via the input-driven loop — the bounded-world idiom of the
+// FSP models), so the log invariants every candidate maintains become
+// single-field constraints the negate operator keeps exactly: the log tail
+// never reaches the campaign term (lastLogTerm < term), and an empty log
+// claims last term 0.
+const CandidateSrc = `
+const VOTE = 1;
+const NPEERS = 5;
+const MAXTERM = 4;
+const MAXLOG = 4;
+var msg [5]int;
+
+func main() {
+	var candId int = input();
+	assume(candId >= 0);
+	assume(candId < NPEERS);
+	// One path per campaign term in 1..MAXTERM.
+	var term int = 1;
+	var more int = input();
+	while term < MAXTERM && more == 1 {
+		term = term + 1;
+		more = input();
+	}
+	var lastIdx int = input();
+	assume(lastIdx >= 0);
+	assume(lastIdx <= MAXLOG);
+	var lastTm int = input();
+	assume(lastTm >= 0);
+	// Log invariant: a candidate campaigns beyond every entry in its log.
+	assume(lastTm < term);
+	if lastIdx == 0 {
+		if lastTm != 0 { exit(); }
+	}
+	msg[0] = VOTE;
+	msg[1] = term;
+	msg[2] = candId;
+	msg[3] = lastIdx;
+	msg[4] = lastTm;
+	send(msg);
+	exit();
+}`
+
+// LeaderSrc is the NL model of a correct leader sending a heartbeat, with
+// the same per-term path enumeration. A leader's log may contain entries
+// from its current term, so prevLogTerm <= term rather than strictly less.
+const LeaderSrc = `
+const APPEND = 2;
+const NPEERS = 5;
+const MAXTERM = 4;
+const MAXLOG = 4;
+var msg [5]int;
+
+func main() {
+	var leadId int = input();
+	assume(leadId >= 0);
+	assume(leadId < NPEERS);
+	var term int = 1;
+	var more int = input();
+	while term < MAXTERM && more == 1 {
+		term = term + 1;
+		more = input();
+	}
+	var prevIdx int = input();
+	assume(prevIdx >= 0);
+	assume(prevIdx <= MAXLOG);
+	var prevTm int = input();
+	assume(prevTm >= 0);
+	assume(prevTm <= term);
+	if prevIdx == 0 {
+		if prevTm != 0 { exit(); }
+	}
+	msg[0] = APPEND;
+	msg[1] = term;
+	msg[2] = leadId;
+	msg[3] = prevIdx;
+	msg[4] = prevTm;
+	send(msg);
+	exit();
+}`
+
+// DefaultState is the canonical concrete follower world.
+func DefaultState() map[string]int64 {
+	return map[string]int64{
+		"currentTerm":  StateTerm,
+		"lastLogIndex": StateLogIdx,
+		"lastLogTerm":  StateLogTerm,
+	}
+}
+
+// ServerUnit compiles the vulnerable follower model.
+func ServerUnit() *lang.Unit { return lang.MustCompile(ServerSrc) }
+
+// Clients compiles the candidate and leader client models.
+func Clients() []core.ClientProgram {
+	return []core.ClientProgram{
+		{Name: "candidate", Unit: lang.MustCompile(CandidateSrc)},
+		{Name: "leader", Unit: lang.MustCompile(LeaderSrc)},
+	}
+}
+
+// NewTarget builds the Achilles target for the vulnerable follower in the
+// canonical concrete world.
+func NewTarget() core.Target {
+	return core.Target{
+		Name:       "raft",
+		Server:     ServerUnit(),
+		Clients:    Clients(),
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{GlobalConcrete: DefaultState()},
+	}
+}
+
+// NewFixedTarget builds the target for the hardened follower.
+func NewFixedTarget() core.Target {
+	t := NewTarget()
+	t.Name = "raft-fixed"
+	t.Server = lang.MustCompile(FixedServerSrc)
+	return t
+}
+
+// Accepts mirrors the vulnerable follower model's accept condition for a
+// follower in the world (currentTerm, lastLogIndex, lastLogTerm) — the fast
+// oracle used by the fuzzing baseline; the NL interpreter agrees with it
+// (see the cross-validation test).
+func Accepts(msg []int64, currentTerm, lastLogIndex, lastLogTerm int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldNode] < 0 || msg[FieldNode] >= NumPeers {
+		return false
+	}
+	if msg[FieldTerm] < currentTerm || msg[FieldTerm] > TermBound {
+		return false
+	}
+	if msg[FieldLogIdx] < 0 || msg[FieldLogIdx] > LogBound {
+		return false
+	}
+	if msg[FieldLogTerm] < 0 || msg[FieldLogTerm] > TermBound {
+		return false
+	}
+	switch msg[FieldType] {
+	case MsgRequestVote:
+		if msg[FieldLogTerm] > lastLogTerm {
+			return true
+		}
+		return msg[FieldLogTerm] == lastLogTerm && msg[FieldLogIdx] >= lastLogIndex
+	case MsgAppendEntries:
+		return msg[FieldLogIdx] == lastLogIndex && msg[FieldLogTerm] == lastLogTerm
+	}
+	return false
+}
+
+// IsTrojan is the ground-truth oracle in the follower world (currentTerm,
+// lastLogIndex, lastLogTerm): an accepted message that violates the log
+// invariants every correct candidate/leader maintains.
+func IsTrojan(msg []int64, currentTerm, lastLogIndex, lastLogTerm int64) bool {
+	if !Accepts(msg, currentTerm, lastLogIndex, lastLogTerm) {
+		return false
+	}
+	switch msg[FieldType] {
+	case MsgRequestVote:
+		// Candidates campaign beyond every entry in their log.
+		return msg[FieldLogTerm] >= msg[FieldTerm] ||
+			(msg[FieldLogIdx] == 0 && msg[FieldLogTerm] != 0)
+	case MsgAppendEntries:
+		// Leaders may replicate current-term entries but none beyond.
+		return msg[FieldLogTerm] > msg[FieldTerm] ||
+			(msg[FieldLogIdx] == 0 && msg[FieldLogTerm] != 0)
+	}
+	return false
+}
+
+// ForgedVote builds the canonical Trojan example: a RequestVote whose log
+// claim (lastLogTerm) outruns its own term — unbeatable in the §5.4.1
+// comparison, impossible from a correct candidate.
+func ForgedVote(candidate, term, claimedLogTerm int64) []int64 {
+	return []int64{MsgRequestVote, term, candidate, 0, claimedLogTerm}
+}

@@ -1,0 +1,134 @@
+package raft
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/symexec"
+)
+
+// TestAnalysisFindsLogInvariantTrojan pins the seeded vulnerability: the
+// vulnerable follower yields at least one verified Trojan class, and every
+// reported example satisfies the ground-truth oracle.
+func TestAnalysisFindsLogInvariantTrojan(t *testing.T) {
+	run, err := core.Run(NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) == 0 {
+		t.Fatal("no Trojans found on the vulnerable follower")
+	}
+	for _, tr := range run.Analysis.Trojans {
+		if !tr.VerifiedAccept || !tr.VerifiedNotClient {
+			t.Errorf("trojan %v not fully verified", tr.Concrete)
+		}
+		if !IsTrojan(tr.Concrete, StateTerm, StateLogIdx, StateLogTerm) {
+			t.Errorf("reported Trojan %v rejected by the oracle", tr.Concrete)
+		}
+		if tr.Concrete[FieldType] != MsgRequestVote {
+			t.Errorf("trojan %v is not a RequestVote (the seeded class)", tr.Concrete)
+		}
+	}
+}
+
+// TestFixedFollowerHasNoTrojans pins the patched model.
+func TestFixedFollowerHasNoTrojans(t *testing.T) {
+	run, err := core.Run(NewFixedTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(run.Analysis.Trojans); n != 0 {
+		t.Fatalf("fixed follower reported %d Trojans: %v", n, run.Analysis.Trojans[0].Concrete)
+	}
+}
+
+// TestModelMatchesGoOracle cross-checks the NL model's concrete
+// interpretation against the Go Accepts oracle over the fuzz domain.
+func TestModelMatchesGoOracle(t *testing.T) {
+	unit := ServerUnit()
+	for ty := int64(0); ty <= 3; ty++ {
+		for term := int64(1); term <= TermBound+1; term++ {
+			for node := int64(-1); node <= 5; node += 3 {
+				for idx := int64(0); idx <= LogBound+1; idx += 2 {
+					for lt := int64(0); lt <= TermBound+1; lt++ {
+						msg := []int64{ty, term, node, idx, lt}
+						res, err := symexec.Run(unit, symexec.Options{
+							Concrete:       true,
+							Message:        msg,
+							GlobalConcrete: DefaultState(),
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						got := res.States[0].Status == symexec.StatusAccepted
+						want := Accepts(msg, StateTerm, StateLogIdx, StateLogTerm)
+						if got != want {
+							t.Fatalf("model accept=%v, oracle=%v for %v", got, want, msg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestImplMatchesModelOnFreshFollower checks the concrete implementation's
+// accept decision against the Go oracle for a fresh follower (no vote
+// cast), over the bounded analysis world — the implementation itself does
+// not enforce the world bounds (a real deployment has no MAXTERM).
+func TestImplMatchesModelOnFreshFollower(t *testing.T) {
+	for ty := int64(1); ty <= 2; ty++ {
+		for term := int64(StateTerm); term <= TermBound; term++ {
+			for idx := int64(0); idx <= LogBound; idx++ {
+				for lt := int64(0); lt <= TermBound; lt++ {
+					msg := []int64{ty, term, 1, idx, lt}
+					n := NodeInWorld(StateTerm, StateLogIdx, StateLogTerm, false)
+					got, err := n.Handle(msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := Accepts(msg, StateTerm, StateLogIdx, StateLogTerm)
+					if got != want {
+						t.Fatalf("impl accept=%v, oracle=%v for %v", got, want, msg)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestVotedForBlocksSecondGrant covers the implementation detail the
+// election model abstracts away: one vote per term.
+func TestVotedForBlocksSecondGrant(t *testing.T) {
+	n := NodeInWorld(StateTerm, StateLogIdx, StateLogTerm, false)
+	if !n.HandleRequestVote(4, 1, 5, 3) {
+		t.Fatal("first up-to-date vote not granted")
+	}
+	if n.HandleRequestVote(4, 2, 5, 3) {
+		t.Fatal("second vote in the same term granted to a different candidate")
+	}
+}
+
+// TestStolenElection demonstrates the Trojan's impact: a legitimate
+// campaign by the empty-log node loses, the forged vote request wins.
+func TestStolenElection(t *testing.T) {
+	legit, forged, quorum := StolenElection()
+	if legit >= quorum {
+		t.Fatalf("legitimate campaign with an empty log won %d/%d votes", legit, quorum)
+	}
+	if forged < quorum {
+		t.Fatalf("forged campaign only won %d votes, quorum %d", forged, quorum)
+	}
+}
+
+// TestFixedNodeRejectsForgedVote: the hardened implementation refuses the
+// Trojan but keeps granting legitimate votes.
+func TestFixedNodeRejectsForgedVote(t *testing.T) {
+	fixed := NodeInWorld(StateTerm, StateLogIdx, StateLogTerm, true)
+	if ok, _ := fixed.Handle(ForgedVote(1, 3, 9)); ok {
+		t.Fatal("fixed node granted the forged vote")
+	}
+	if !fixed.HandleRequestVote(4, 1, 5, 3) {
+		t.Fatal("fixed node rejected a legitimate up-to-date vote")
+	}
+}

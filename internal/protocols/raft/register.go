@@ -1,0 +1,73 @@
+package raft
+
+import (
+	"fmt"
+	"math/rand"
+
+	"achilles/internal/protocols/registry"
+)
+
+// Generator fuzzes the election RPC fields over small domains that
+// straddle every model branch (invalid types, stale terms, out-of-range
+// node ids, log claims on both sides of the follower's tail).
+func Generator(r *rand.Rand) []int64 {
+	return []int64{
+		int64(r.Intn(4)),     // type: 0..3 (VOTE=1, APPEND=2)
+		int64(r.Intn(7)),     // term: 0..6 (follower at StateTerm=2, bound 4)
+		int64(r.Intn(7)) - 1, // node: -1..5 (valid ids are 0..4)
+		int64(r.Intn(6)),     // lastLogIndex: 0..5 (follower tail index 2, bound 4)
+		int64(r.Intn(7)),     // lastLogTerm: 0..6 (follower tail term 1)
+	}
+}
+
+// ClassKey buckets Trojans by (type, invariant violated): the class
+// structure is which log invariant the message breaks, not its exact
+// field values.
+func ClassKey(msg []int64) string {
+	kind := "future-log-term"
+	if msg[FieldLogIdx] == 0 && msg[FieldLogTerm] != 0 {
+		kind = "phantom-empty-log"
+	}
+	return fmt.Sprintf("%d/%s", msg[FieldType], kind)
+}
+
+func world(st registry.State) (term, idx, logTerm int64) {
+	return st["currentTerm"], st["lastLogIndex"], st["lastLogTerm"]
+}
+
+func oracle(msg []int64, st registry.State) bool {
+	t, i, lt := world(st)
+	return IsTrojan(msg, t, i, lt)
+}
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:          "raft",
+		Summary:       "Raft leader election: forged RequestVote log claim steals votes",
+		Target:        NewTarget,
+		DefaultState:  DefaultState(),
+		ExpectTrojans: true,
+		IsTrojan:      oracle,
+		ClassKey:      ClassKey,
+		ImplAccepts: func(msg []int64, st registry.State) bool {
+			t, i, lt := world(st)
+			ok, _ := NodeInWorld(t, i, lt, false).Handle(msg)
+			return ok
+		},
+		Fuzz: &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:         "raft-fixed",
+		Summary:      "Raft leader election with the log-invariant checks: no Trojans",
+		Target:       NewFixedTarget,
+		DefaultState: DefaultState(),
+		IsTrojan:     oracle,
+		ClassKey:     ClassKey,
+		ImplAccepts: func(msg []int64, st registry.State) bool {
+			t, i, lt := world(st)
+			ok, _ := NodeInWorld(t, i, lt, true).Handle(msg)
+			return ok
+		},
+		Fuzz: &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+}

@@ -1,0 +1,165 @@
+package registry
+
+import (
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/lang"
+)
+
+const testServerSrc = `
+var msg [2]int;
+func main() {
+	recv(msg);
+	if msg[0] != 1 { reject(); }
+	accept();
+}`
+
+const testClientSrc = `
+var msg [2]int;
+func main() {
+	msg[0] = 1;
+	msg[1] = 0;
+	send(msg);
+	exit();
+}`
+
+func testDescriptor(name string) Descriptor {
+	return Descriptor{
+		Name:    name,
+		Summary: "test target",
+		Target: func() core.Target {
+			return core.Target{
+				Name:       name,
+				Server:     lang.MustCompile(testServerSrc),
+				Clients:    []core.ClientProgram{{Name: "c", Unit: lang.MustCompile(testClientSrc)}},
+				FieldNames: []string{"a", "b"},
+			}
+		},
+		ExpectTrojans: true,
+		IsTrojan:      func(msg []int64, st State) bool { return msg[0] == 1 && msg[1] != 0 },
+		ImplAccepts:   func(msg []int64, st State) bool { return msg[0] == 1 },
+		Fuzz: &FuzzSpec{
+			Tests: 64,
+			Generator: func(r *rand.Rand) []int64 {
+				return []int64{int64(r.Intn(3)), int64(r.Intn(3))}
+			},
+		},
+	}
+}
+
+func TestRegisterLookupAll(t *testing.T) {
+	Register(testDescriptor("zz-test"))
+	Register(Descriptor{
+		Name:    "aa-test",
+		Aliases: []string{"aa-alias"},
+		Target:  testDescriptor("aa-test").Target,
+	})
+
+	if _, ok := Lookup("zz-test"); !ok {
+		t.Fatal("zz-test not found")
+	}
+	if d, ok := Lookup("aa-alias"); !ok || d.Name != "aa-test" {
+		t.Fatalf("alias lookup = %v, %v; want aa-test", d.Name, ok)
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("lookup of unknown name succeeded")
+	}
+
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+	found := 0
+	for _, d := range All() {
+		if d.Name == "zz-test" || d.Name == "aa-test" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("All() missing test descriptors (found %d)", found)
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	Register(testDescriptor("dup-test"))
+	mustPanic("duplicate", func() { Register(testDescriptor("dup-test")) })
+	mustPanic("empty name", func() { Register(Descriptor{Target: testDescriptor("x").Target}) })
+	mustPanic("nil target", func() { Register(Descriptor{Name: "no-target-test"}) })
+	mustPanic("fire drill for unknown", func() {
+		RegisterFireDrill("never-registered", func(addr string, out io.Writer) error { return nil })
+	})
+}
+
+func TestDescriptorHelpers(t *testing.T) {
+	d := testDescriptor("helpers-test")
+	if !d.Trojan([]int64{1, 5}, nil) || d.Trojan([]int64{1, 0}, nil) {
+		t.Fatal("Trojan oracle mis-wired")
+	}
+	if acc, ok := d.Replay([]int64{1, 0}, nil); !ok || !acc {
+		t.Fatal("Replay mis-wired")
+	}
+	if _, ok := (Descriptor{}).Replay([]int64{1}, nil); ok {
+		t.Fatal("Replay reported ok without an implementation")
+	}
+	if d.Class([]int64{1, 2}) != "[1 2]" {
+		t.Fatalf("default Class = %q", d.Class([]int64{1, 2}))
+	}
+
+	res, err := d.FuzzCampaign(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tests != 64 {
+		t.Fatalf("campaign size %d, want spec default 64", res.Tests)
+	}
+	if res.Accepted == 0 || res.Trojans == 0 {
+		t.Fatalf("campaign found no accepts/trojans: %+v", res)
+	}
+	if _, err := (Descriptor{Name: "nofuzz"}).FuzzCampaign(10, 1); err == nil {
+		t.Fatal("FuzzCampaign without a spec should error")
+	}
+}
+
+func TestDescriptorRun(t *testing.T) {
+	d := testDescriptor("run-test")
+	run, err := d.Run(core.ModeOptimized, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) == 0 {
+		t.Fatal("analysis found no Trojans on the seeded test target")
+	}
+	for _, tr := range run.Analysis.Trojans {
+		if !d.Trojan(tr.Concrete, nil) {
+			t.Errorf("reported Trojan %v rejected by the oracle", tr.Concrete)
+		}
+	}
+}
+
+func TestMustLookupPanicsWithNames(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic")
+		}
+		if !strings.Contains(r.(string), "unknown target") {
+			t.Fatalf("panic message %q", r)
+		}
+	}()
+	MustLookup("definitely-not-registered")
+}

@@ -249,6 +249,19 @@ func (s *Solver) solve(conj, disj []*expr.Expr, budget *int) (Result, expr.Env) 
 	if len(disj) == 0 {
 		return s.solveConj(conj, budget)
 	}
+	// Split-node pruning: refute the partial conjunction by propagation
+	// before splitting further. Without this, a contradicted disjunct picked
+	// near the root (e.g. a client-path negation whose first disjunct
+	// contradicts the server path) poisons an entire subtree whose
+	// infeasibility would otherwise only surface leaf by leaf — turning a
+	// linear walk into an exponential one on conjunction-heavy Trojan
+	// queries. Propagation-only refutation is sound (adding the remaining
+	// disjuncts can never make an unsat conjunction satisfiable), so
+	// verdicts are unchanged; only the visit order of the split tree
+	// shrinks.
+	if !s.feasibleConj(conj) {
+		return Unsat, nil
+	}
 	// Split on the first disjunction; propagation inside solveConj will
 	// quickly kill infeasible branches.
 	d := disj[0]
@@ -363,26 +376,43 @@ func (cs *conjState) clone() *conjState {
 	}
 }
 
-// solveConj decides a pure conjunction of atoms.
-func (s *Solver) solveConj(atoms []*expr.Expr, budget *int) (Result, expr.Env) {
+// newConjState linearises the atoms and seeds full domains for every
+// variable — the shared setup of the leaf decision and the split-node
+// feasibility check.
+func newConjState(atoms []*expr.Expr) *conjState {
 	cs := &conjState{
 		domains:  map[string]interval{},
 		assigned: expr.Env{},
 		orig:     atoms,
 	}
 	for _, a := range atoms {
-		la, ok := linearise(a)
-		if ok {
+		if la, ok := linearise(a); ok {
 			cs.atoms = append(cs.atoms, la)
 		} else {
 			cs.nonlin = append(cs.nonlin, a)
 		}
 	}
-	vars := expr.VarsOf(atoms)
-	cs.varOrder = vars
-	for _, v := range vars {
+	cs.varOrder = expr.VarsOf(atoms)
+	for _, v := range cs.varOrder {
 		cs.domains[v] = interval{-satLimit, satLimit}
 	}
+	return cs
+}
+
+// feasibleConj reports whether interval propagation alone fails to refute
+// the conjunction: false means provably unsat. It runs no search, which
+// keeps it cheap enough for every DPLL split node.
+func (s *Solver) feasibleConj(atoms []*expr.Expr) bool {
+	cs := newConjState(atoms)
+	if linearConflict(cs.atoms) {
+		return false
+	}
+	return s.propagate(cs)
+}
+
+// solveConj decides a pure conjunction of atoms.
+func (s *Solver) solveConj(atoms []*expr.Expr, budget *int) (Result, expr.Env) {
+	cs := newConjState(atoms)
 	if linearConflict(cs.atoms) {
 		return Unsat, nil
 	}
