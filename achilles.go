@@ -27,9 +27,11 @@
 // over that many workers; the reported Trojan class set is identical for
 // every value (see DESIGN.md, "Where the parallelism sits").
 //
-// See examples/ for complete programs, README.md for the NL language
-// cheat-sheet, DESIGN.md for the architecture, and EXPERIMENTS.md for the
-// paper-vs-measured evaluation.
+// See examples/ for complete programs, LANGUAGE.md for the NL modelling-
+// language reference (README.md carries the cheat sheet), DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-vs-measured evaluation.
+// Fleet-wide audits with persistent, diffable bundles are provided by
+// cmd/achilles-audit on top of internal/campaign.
 package achilles
 
 import (

@@ -4,8 +4,10 @@
 package achilles_test
 
 import (
+	"runtime"
 	"testing"
 
+	"achilles/internal/campaign"
 	"achilles/internal/classic"
 	"achilles/internal/core"
 	"achilles/internal/experiments"
@@ -302,4 +304,25 @@ func BenchmarkConcreteFSPInterpretation(b *testing.B) {
 			b.Fatal("valid message rejected")
 		}
 	}
+}
+
+// BenchmarkFleetCampaign audits the whole registry catalog as one campaign
+// at the full CPU budget — the operational fleet-audit wall-clock
+// (`achilles-audit run` / `benchtab -exp campaign`).
+func BenchmarkFleetCampaign(b *testing.B) {
+	var classes int
+	for i := 0; i < b.N; i++ {
+		bundle, err := campaign.Run(campaign.Options{Jobs: runtime.NumCPU()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes = 0
+		for _, rm := range bundle.Manifest.Runs {
+			if rm.Error != "" {
+				b.Fatalf("job %s: %s", rm.Key(), rm.Error)
+			}
+			classes += rm.Classes
+		}
+	}
+	b.ReportMetric(float64(classes), "classes")
 }

@@ -1,0 +1,262 @@
+// Command achilles-audit runs fleet-wide Trojan audits and manages the
+// resulting bundles — the operational face of the campaign engine
+// (internal/campaign).
+//
+// Usage:
+//
+//	achilles-audit run  [-out DIR] [-targets a,b|all] [-modes m1,m2|all] [-j N] [-golden DIR]
+//	achilles-audit diff OLD_BUNDLE NEW_BUNDLE
+//	achilles-audit ls   [ROOT]
+//
+// "run" audits every selected registry target in every selected mode under
+// one global -j budget and writes a versioned audit bundle (manifest.json +
+// one JSONL Trojan report stream per job). With -golden it additionally
+// cross-checks each optimized-mode job's class lines against the golden
+// corpus (<golden>/<target>.golden) and exits 1 on divergence — the CI
+// regression gate.
+//
+// "diff" compares two bundles class-by-class and exits 0 when identical,
+// 1 when Trojan classes appeared, disappeared or changed, 2 on usage or
+// I/O errors.
+//
+// "ls" lists the bundles under a root directory (default "audits") with
+// their creation time, job count and class totals.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"achilles/internal/campaign"
+	"achilles/internal/core"
+	_ "achilles/internal/protocols"
+	"achilles/internal/protocols/registry"
+)
+
+const defaultRoot = "audits"
+
+func usage(w *os.File) {
+	fmt.Fprintln(w, "usage:")
+	fmt.Fprintln(w, "  achilles-audit run  [-out DIR] [-targets a,b|all] [-modes m1,m2|all] [-j N] [-golden DIR]")
+	fmt.Fprintln(w, "  achilles-audit diff OLD_BUNDLE NEW_BUNDLE")
+	fmt.Fprintln(w, "  achilles-audit ls   [ROOT]")
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		cmdRun(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "ls":
+		cmdLs(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "achilles-audit: unknown subcommand %q\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+// parseModes expands a comma-separated -modes value; "all" selects every
+// analysis mode.
+func parseModes(arg string) ([]core.Mode, error) {
+	if arg == "all" {
+		return []core.Mode{core.ModeOptimized, core.ModeNoDifferentFrom, core.ModeAPosteriori}, nil
+	}
+	var out []core.Mode
+	for _, name := range strings.Split(arg, ",") {
+		m, err := core.ParseMode(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// parseTargets expands a comma-separated -targets value; "all" or the empty
+// string selects every registered target.
+func parseTargets(arg string) []string {
+	if arg == "" || arg == "all" {
+		return nil
+	}
+	var out []string
+	for _, n := range strings.Split(arg, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("achilles-audit run", flag.ExitOnError)
+	out := fs.String("out", "", "bundle directory (default "+defaultRoot+"/run-<timestamp>)")
+	targets := fs.String("targets", "all", "comma-separated registry targets, or all")
+	modes := fs.String("modes", "optimized", "comma-separated analysis modes, or all")
+	jobs := fs.Int("j", runtime.NumCPU(), "global parallelism budget across the campaign")
+	golden := fs.String("golden", "", "golden corpus dir to cross-check optimized-mode class sets against")
+	fs.Parse(args)
+
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "achilles-audit: invalid -j %d (must be >= 1)\n", *jobs)
+		fs.Usage()
+		os.Exit(2)
+	}
+	modeList, err := parseModes(*modes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	opts := campaign.Options{
+		Targets: parseTargets(*targets),
+		Modes:   modeList,
+		Jobs:    *jobs,
+	}
+	if _, err := campaign.Plan(opts); err != nil {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		fmt.Fprintf(os.Stderr, "registered targets: %s\n", strings.Join(registry.Names(), ", "))
+		os.Exit(2)
+	}
+	dir := *out
+	if dir == "" {
+		dir = filepath.Join(defaultRoot, "run-"+time.Now().UTC().Format("20060102-150405"))
+	}
+
+	bundle, err := campaign.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		os.Exit(1)
+	}
+	if err := bundle.Write(dir); err != nil {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		os.Exit(1)
+	}
+
+	failed := 0
+	total := 0
+	for _, rm := range bundle.Manifest.Runs {
+		if rm.Error != "" {
+			failed++
+			fmt.Printf("  %-36s FAILED: %s\n", rm.Key(), rm.Error)
+			continue
+		}
+		total += rm.Classes
+		fmt.Printf("  %-36s %3d class(es) in %5d ms\n", rm.Key(), rm.Classes, rm.WallMS)
+	}
+	fmt.Printf("wrote %s: %d job(s), %d Trojan class(es), %d ms wall (-j %d)\n",
+		dir, len(bundle.Manifest.Runs), total, bundle.Manifest.WallMS, *jobs)
+
+	exit := 0
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) failed\n", failed)
+		exit = 1
+	}
+	if *golden != "" {
+		if drift := checkGolden(bundle, *golden); drift > 0 {
+			fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) diverged from the golden corpus in %s\n", drift, *golden)
+			exit = 1
+		} else {
+			fmt.Printf("golden check against %s: all optimized-mode class sets match\n", *golden)
+		}
+	}
+	os.Exit(exit)
+}
+
+// checkGolden byte-compares every optimized-mode job's class lines against
+// <dir>/<target>.golden, returning the number of diverging jobs. A missing
+// golden file counts as divergence: a freshly registered target must check
+// in its corpus before the audit gate passes.
+func checkGolden(b *campaign.Bundle, dir string) int {
+	drift := 0
+	optimized := core.ModeOptimized.String()
+	for _, rm := range b.Manifest.Runs {
+		if rm.Error != "" || rm.Mode != optimized {
+			continue
+		}
+		lines, _ := b.ClassLines(rm.Key())
+		content := strings.Join(lines, "\n")
+		if len(lines) > 0 {
+			content += "\n"
+		}
+		want, err := os.ReadFile(filepath.Join(dir, rm.Target+".golden"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  %-36s no golden: %v\n", rm.Key(), err)
+			drift++
+			continue
+		}
+		if string(want) != content {
+			fmt.Fprintf(os.Stderr, "  %-36s class set diverged from %s.golden\n", rm.Key(), rm.Target)
+			drift++
+		}
+	}
+	return drift
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("achilles-audit diff", flag.ExitOnError)
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fmt.Fprintln(os.Stderr, "achilles-audit diff: need exactly two bundle directories")
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	load := func(dir string) *campaign.Bundle {
+		b, err := campaign.Read(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+			os.Exit(2)
+		}
+		return b
+	}
+	oldB, newB := load(rest[0]), load(rest[1])
+	d := campaign.Diff(oldB, newB)
+	fmt.Print(d.Render())
+	if !d.Empty() {
+		os.Exit(1)
+	}
+}
+
+func cmdLs(args []string) {
+	fs := flag.NewFlagSet("achilles-audit ls", flag.ExitOnError)
+	fs.Parse(args)
+	root := defaultRoot
+	if rest := fs.Args(); len(rest) == 1 {
+		root = rest[0]
+	} else if len(rest) > 1 {
+		fmt.Fprintln(os.Stderr, "achilles-audit ls: at most one root directory")
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	listed, err := campaign.List(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		os.Exit(2)
+	}
+	if len(listed) == 0 {
+		fmt.Printf("no bundles under %s\n", root)
+		return
+	}
+	fmt.Printf("%-40s %-20s %5s %8s %8s\n", "bundle", "created", "jobs", "classes", "wall ms")
+	for _, lb := range listed {
+		classes := 0
+		for _, rm := range lb.Manifest.Runs {
+			classes += rm.Classes
+		}
+		fmt.Printf("%-40s %-20s %5d %8d %8d\n",
+			lb.Dir, lb.Manifest.CreatedAt, len(lb.Manifest.Runs), classes, lb.Manifest.WallMS)
+	}
+}

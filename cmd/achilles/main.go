@@ -10,7 +10,8 @@
 // -list prints every registered name with its one-line summary. -j selects
 // the number of analysis workers (default: all CPUs) across client
 // extraction, predicate preprocessing and the server exploration. The
-// reported Trojan class set is identical for every -j.
+// reported Trojan class set is identical for every -j. An unknown target,
+// an unknown -mode or a -j below 1 is a usage error (exit 2).
 package main
 
 import (
@@ -26,18 +27,6 @@ import (
 	_ "achilles/internal/protocols"
 	"achilles/internal/protocols/registry"
 )
-
-func modeByName(name string) (core.Mode, error) {
-	switch name {
-	case "optimized", "":
-		return core.ModeOptimized, nil
-	case "no-differentfrom":
-		return core.ModeNoDifferentFrom, nil
-	case "a-posteriori":
-		return core.ModeAPosteriori, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", name)
-}
 
 func listTargets(w *os.File) {
 	fmt.Fprintln(w, "registered targets:")
@@ -68,13 +57,16 @@ func main() {
 		listTargets(os.Stderr)
 		os.Exit(2)
 	}
-	mode, err := modeByName(*modeName)
+	mode, err := core.ParseMode(*modeName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "achilles:", err)
+		flag.Usage()
 		os.Exit(2)
 	}
 	if *jobs < 1 {
-		*jobs = 1
+		fmt.Fprintf(os.Stderr, "achilles: invalid -j %d (must be >= 1)\n", *jobs)
+		flag.Usage()
+		os.Exit(2)
 	}
 	tgt := desc.Target()
 	opts := desc.Analysis

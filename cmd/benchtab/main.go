@@ -4,11 +4,13 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|all [-j N] [-target NAME]
+//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|all [-j N] [-target NAME]
 //
-// -j bounds the worker counts tried by the speedup experiment (powers of two
-// up to N; default: all CPUs) and drives the sweep. -target restricts the
-// fuzzbase experiment to one registry target (default: every fuzzable one).
+// -j bounds the worker counts tried by the speedup and campaign experiments
+// (powers of two up to N; default: all CPUs) and drives the sweep. -target
+// restricts the fuzzbase experiment to one registry target (default: every
+// fuzzable one). An invalid -j or unknown experiment is a usage error
+// (exit 2).
 package main
 
 import (
@@ -27,6 +29,17 @@ func main() {
 	target := flag.String("target", "all", "registry target for the fuzzbase experiment")
 	flag.Parse()
 
+	if *jobs < 1 {
+		fmt.Fprintf(os.Stderr, "benchtab: invalid -j %d (must be >= 1)\n", *jobs)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *fuzzTests < 1 {
+		fmt.Fprintf(os.Stderr, "benchtab: invalid -fuzz-tests %d (must be >= 1)\n", *fuzzTests)
+		flag.Usage()
+		os.Exit(2)
+	}
+
 	matched := false
 	run := func(name string, f func() (string, error)) {
 		if *exp != "all" && *exp != name {
@@ -43,6 +56,7 @@ func main() {
 	defer func() {
 		if !matched {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown experiment %q\n", *exp)
+			flag.Usage()
 			os.Exit(2)
 		}
 	}()
@@ -130,5 +144,16 @@ func main() {
 			return "", err
 		}
 		return s.Render(), nil
+	})
+	run("campaign", func() (string, error) {
+		levels := []int{1}
+		for j := 2; j <= *jobs; j *= 2 {
+			levels = append(levels, j)
+		}
+		c, err := experiments.RunCampaignScaling(levels)
+		if err != nil {
+			return "", err
+		}
+		return c.Render(), nil
 	})
 }

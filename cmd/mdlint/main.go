@@ -1,0 +1,154 @@
+// Command mdlint is the dependency-free markdown checker behind the CI docs
+// job. It scans the given markdown files for inline links and validates the
+// local ones: a relative link must resolve to an existing file or directory
+// (relative to the linking file), and a same-file anchor must match a
+// heading. External http(s)/mailto links are not fetched.
+//
+// Usage:
+//
+//	mdlint FILE.md [FILE.md ...]
+//
+// Exit status: 0 when every link resolves, 1 when any is broken, 2 on usage
+// or I/O errors.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links [text](dest). Images ![alt](dest)
+// match too via the optional bang; code spans are stripped before matching.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// headingRe matches ATX headings for anchor validation.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// anchorOf reproduces the GitHub heading → anchor slug: lowercase, spaces
+// to dashes, letters/digits/underscores kept, other punctuation dropped.
+func anchorOf(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case unicode.IsLetter(r), unicode.IsDigit(r), r == '_':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// stripCode removes fenced code blocks and inline code spans so example
+// snippets are not mistaken for links.
+func stripCode(md string) string {
+	var out []string
+	inFence := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		// Drop inline code spans.
+		for {
+			i := strings.IndexByte(line, '`')
+			if i < 0 {
+				break
+			}
+			j := strings.IndexByte(line[i+1:], '`')
+			if j < 0 {
+				break
+			}
+			line = line[:i] + line[i+1+j+1:]
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// checkFile validates every local link in one markdown file, returning the
+// broken ones as human-readable problems.
+func checkFile(path string, anchors map[string]map[string]bool) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(stripCode(string(raw)), -1) {
+		dest := m[1]
+		switch {
+		case strings.HasPrefix(dest, "http://"), strings.HasPrefix(dest, "https://"),
+			strings.HasPrefix(dest, "mailto:"):
+			continue
+		}
+		file, anchor, _ := strings.Cut(dest, "#")
+		target := path
+		if file != "" {
+			target = filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(target); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: broken link %q: %v", path, dest, err))
+				continue
+			}
+		}
+		if anchor != "" && strings.HasSuffix(target, ".md") {
+			as, err := anchorsOf(target, anchors)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: link %q: %v", path, dest, err))
+				continue
+			}
+			if !as[anchor] {
+				problems = append(problems, fmt.Sprintf("%s: link %q: no heading for anchor #%s", path, dest, anchor))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// anchorsOf lazily computes the anchor set of a markdown file.
+func anchorsOf(path string, cache map[string]map[string]bool) (map[string]bool, error) {
+	if as, ok := cache[path]; ok {
+		return as, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	as := map[string]bool{}
+	for _, m := range headingRe.FindAllStringSubmatch(stripCode(string(raw)), -1) {
+		as[anchorOf(m[1])] = true
+	}
+	cache[path] = as
+	return as, nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: mdlint FILE.md [FILE.md ...]")
+		os.Exit(2)
+	}
+	anchors := map[string]map[string]bool{}
+	broken := 0
+	for _, path := range os.Args[1:] {
+		problems, err := checkFile(path, anchors)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdlint:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "mdlint: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("mdlint: %d file(s) clean\n", len(os.Args)-1)
+}

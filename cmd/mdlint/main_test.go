@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAnchorOf(t *testing.T) {
+	cases := map[string]string{
+		"Quickstart": "quickstart",
+		"The NL modelling language — cheat sheet": "the-nl-modelling-language--cheat-sheet",
+		"Fleet audits":                         "fleet-audits",
+		"`send()` conventions (client models)": "send-conventions-client-models",
+	}
+	for in, want := range cases {
+		if got := anchorOf(in); got != want {
+			t.Errorf("anchorOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCheckFile(t *testing.T) {
+	dir := t.TempDir()
+	other := filepath.Join(dir, "OTHER.md")
+	if err := os.WriteFile(other, []byte("# Real Heading\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	md := strings.Join([]string{
+		"# Title",
+		"good file link: [x](OTHER.md)",
+		"good anchor link: [x](OTHER.md#real-heading)",
+		"good self anchor: [x](#title)",
+		"external: [x](https://example.com/nope)",
+		"```",
+		"not a [link](missing-in-code.md)",
+		"```",
+		"broken: [x](MISSING.md)",
+		"broken anchor: [x](OTHER.md#no-such)",
+	}, "\n")
+	path := filepath.Join(dir, "DOC.md")
+	if err := os.WriteFile(path, []byte(md), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := checkFile(path, map[string]map[string]bool{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("want 2 problems, got %d: %v", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "MISSING.md") || !strings.Contains(problems[1], "no-such") {
+		t.Errorf("unexpected problems: %v", problems)
+	}
+}

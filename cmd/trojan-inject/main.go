@@ -35,6 +35,7 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "trojan-inject: target %q has no live fire drill (available: %s)\n",
 			*targetName, strings.Join(registry.FireDrillNames(), ", "))
+		flag.Usage()
 		os.Exit(2)
 	}
 	if err := drill(*addr, os.Stdout); err != nil {

@@ -1,0 +1,67 @@
+// Fleet audit: the paper's operational end game — audit every registered
+// protocol target as one campaign, persist the result as a diffable audit
+// bundle, and prove the regression gate works by diffing a clean re-run
+// (zero changes) against a seeded regression (flagged immediately).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"achilles/internal/campaign"
+	_ "achilles/internal/protocols"
+)
+
+func main() {
+	root, err := os.MkdirTemp("", "fleet-audit-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(root)
+
+	// Audit the whole catalog under one global -j budget: cheap targets run
+	// on their own pool workers instead of queueing behind the big ones.
+	opts := campaign.Options{Jobs: runtime.NumCPU()}
+	bundle, err := campaign.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir := filepath.Join(root, "baseline")
+	if err := bundle.Write(dir); err != nil {
+		log.Fatal(err)
+	}
+	classes := 0
+	for _, rm := range bundle.Manifest.Runs {
+		classes += rm.Classes
+		fmt.Printf("  %-28s %3d class(es) %6d ms\n", rm.Key(), rm.Classes, rm.WallMS)
+	}
+	fmt.Printf("fleet audit: %d jobs, %d Trojan classes, %d ms wall (-j %d)\n\n",
+		len(bundle.Manifest.Runs), classes, bundle.Manifest.WallMS, opts.Jobs)
+
+	// A clean re-run diffs empty: the bundle is a deterministic function of
+	// the fleet, so CI can alert on any non-empty diff.
+	again, err := campaign.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := campaign.Read(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("re-audit vs persisted baseline: %s", campaign.Diff(loaded, again).Render())
+
+	// Seed a regression — pretend the kv Trojan silently vanished from a
+	// later audit (a model edit, a solver change, a parallelism bug) — and
+	// watch the diff flag it.
+	key := "kv/optimized"
+	seeded := again.Reports[key]
+	again.Reports[key] = nil
+	d := campaign.Diff(loaded, again)
+	fmt.Printf("\nseeded regression (drop %d kv class): %s", len(seeded), d.Render())
+	if d.Empty() {
+		log.Fatal("regression not flagged — the audit gate is broken")
+	}
+}

@@ -1,0 +1,257 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// FormatVersion is the on-disk bundle layout version. Read rejects bundles
+// written by a newer layout rather than misinterpreting them.
+const FormatVersion = 1
+
+// ManifestName is the manifest file inside a bundle directory.
+const ManifestName = "manifest.json"
+
+// Counters is the flat counter map persisted in manifests (see
+// core.Counters for the producing side).
+type Counters map[string]int64
+
+// Manifest is the machine-readable summary of one campaign run — the
+// versioned header of an audit bundle.
+type Manifest struct {
+	FormatVersion int    `json:"format_version"`
+	Tool          string `json:"tool"`       // campaign.Version at write time
+	CreatedAt     string `json:"created_at"` // RFC3339 UTC
+	Jobs          int    `json:"jobs"`       // the global -j budget
+	WallMS        int64  `json:"wall_ms"`    // end-to-end campaign wall time
+
+	// Solver is the shared solver's cumulative statistics for the whole
+	// campaign (per-job solver_* counters are snapshots of the same shared
+	// solver and therefore cumulative too).
+	Solver Counters `json:"solver,omitempty"`
+
+	// Runs has one entry per job, in deterministic (target, mode) order.
+	Runs []RunManifest `json:"runs"`
+}
+
+// RunManifest is the manifest entry for one target×mode job.
+type RunManifest struct {
+	Target      string   `json:"target"`
+	Mode        string   `json:"mode"`
+	ReportFile  string   `json:"report_file"`
+	Classes     int      `json:"classes"`
+	ClientPaths int      `json:"client_paths,omitempty"`
+	WallMS      int64    `json:"wall_ms"`
+	Counters    Counters `json:"counters,omitempty"`
+	// Error records a failed job; its report stream is absent.
+	Error string `json:"error,omitempty"`
+}
+
+// Key returns the job key of a manifest entry.
+func (rm RunManifest) Key() string { return rm.Target + "/" + rm.Mode }
+
+// Report is one Trojan class as persisted in a job's JSONL report stream.
+type Report struct {
+	// Fingerprint is the stable content hash of Class (diff key).
+	Fingerprint string `json:"fingerprint"`
+	// ClassID is the symbolic identity (witness + state world); reports
+	// sharing a ClassID but differing in Fingerprint are "changed".
+	ClassID string `json:"class_id"`
+	// Class is the canonical class line — byte-identical to the golden
+	// corpus format.
+	Class    string           `json:"class"`
+	Witness  string           `json:"witness"`
+	Concrete []int64          `json:"concrete"`
+	Fields   []string         `json:"fields,omitempty"`
+	State    map[string]int64 `json:"state,omitempty"`
+	Verified bool             `json:"verified"`
+	PathLen  int              `json:"path_len"`
+}
+
+// Bundle is an audit bundle: the manifest plus the per-job report streams,
+// keyed by Job.Key(). It round-trips through Write and Read.
+type Bundle struct {
+	Manifest Manifest
+	Reports  map[string][]Report
+}
+
+// ClassLines returns the sorted canonical class lines of one job — the
+// golden-corpus representation of that job's result — and whether the job
+// exists in the bundle.
+func (b *Bundle) ClassLines(jobKey string) ([]string, bool) {
+	reps, ok := b.Reports[jobKey]
+	if !ok {
+		return nil, false
+	}
+	lines := make([]string, len(reps))
+	for i, r := range reps {
+		lines[i] = r.Class
+	}
+	sort.Strings(lines)
+	return lines, true
+}
+
+// JobKeys returns the sorted job keys present in the bundle.
+func (b *Bundle) JobKeys() []string {
+	keys := make([]string, 0, len(b.Reports))
+	for k := range b.Reports {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// reportFileName maps a job to its JSONL file inside the bundle directory.
+// Mode names are lowercased and slash-free so the layout stays portable.
+func reportFileName(j Job) string {
+	mode := strings.ToLower(j.Mode.String())
+	return j.Target + "." + mode + ".jsonl"
+}
+
+// Write persists the bundle under dir (created if needed): manifest.json
+// plus one JSONL report file per successful job. Files are written with
+// stable ordering so identical runs produce byte-identical bundles.
+func (b *Bundle) Write(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: create bundle dir: %w", err)
+	}
+	mj, err := json.MarshalIndent(&b.Manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(mj, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: write manifest: %w", err)
+	}
+	for _, rm := range b.Manifest.Runs {
+		if rm.Error != "" {
+			continue
+		}
+		reps := b.Reports[rm.Key()]
+		var sb strings.Builder
+		for _, r := range reps {
+			line, err := json.Marshal(r)
+			if err != nil {
+				return fmt.Errorf("campaign: marshal report %s: %w", rm.Key(), err)
+			}
+			sb.Write(line)
+			sb.WriteByte('\n')
+		}
+		path := filepath.Join(dir, rm.ReportFile)
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			return fmt.Errorf("campaign: write reports %s: %w", rm.Key(), err)
+		}
+	}
+	return nil
+}
+
+// Read loads a bundle from dir, validating the manifest and every report
+// stream it references. A missing or malformed manifest, an unsupported
+// format version, or a corrupt report line is an error.
+func Read(dir string) (*Bundle, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("campaign: read manifest: %w", err)
+	}
+	b := &Bundle{Reports: map[string][]Report{}}
+	if err := json.Unmarshal(raw, &b.Manifest); err != nil {
+		return nil, fmt.Errorf("campaign: corrupt manifest in %s: %w", dir, err)
+	}
+	if b.Manifest.FormatVersion != FormatVersion {
+		return nil, fmt.Errorf("campaign: bundle %s has format version %d, this tool reads %d",
+			dir, b.Manifest.FormatVersion, FormatVersion)
+	}
+	for _, rm := range b.Manifest.Runs {
+		if rm.Error != "" {
+			continue
+		}
+		if rm.ReportFile != filepath.Base(rm.ReportFile) || rm.ReportFile == "" {
+			return nil, fmt.Errorf("campaign: manifest entry %s names invalid report file %q", rm.Key(), rm.ReportFile)
+		}
+		reps, err := readReports(filepath.Join(dir, rm.ReportFile))
+		if err != nil {
+			return nil, fmt.Errorf("campaign: job %s: %w", rm.Key(), err)
+		}
+		if len(reps) != rm.Classes {
+			return nil, fmt.Errorf("campaign: job %s: manifest says %d classes, %s holds %d",
+				rm.Key(), rm.Classes, rm.ReportFile, len(reps))
+		}
+		b.Reports[rm.Key()] = reps
+	}
+	return b, nil
+}
+
+// readReports parses one JSONL report stream.
+func readReports(path string) ([]Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	reps := []Report{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var r Report
+		if err := json.Unmarshal([]byte(line), &r); err != nil {
+			return nil, fmt.Errorf("%s:%d: corrupt report line: %w", filepath.Base(path), lineNo, err)
+		}
+		if r.Fingerprint == "" || r.Class == "" {
+			return nil, fmt.Errorf("%s:%d: report missing fingerprint or class", filepath.Base(path), lineNo)
+		}
+		reps = append(reps, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return reps, nil
+}
+
+// List scans root for bundle directories (direct children containing a
+// manifest.json) and returns their manifests, sorted by creation time then
+// name. Unreadable children are skipped.
+func List(root string) ([]ListedBundle, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: list %s: %w", root, err)
+	}
+	var out []ListedBundle
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(raw, &m); err != nil {
+			continue
+		}
+		out = append(out, ListedBundle{Dir: dir, Manifest: m})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Manifest.CreatedAt != out[j].Manifest.CreatedAt {
+			return out[i].Manifest.CreatedAt < out[j].Manifest.CreatedAt
+		}
+		return out[i].Dir < out[j].Dir
+	})
+	return out, nil
+}
+
+// ListedBundle pairs a bundle directory with its manifest.
+type ListedBundle struct {
+	Dir      string
+	Manifest Manifest
+}

@@ -1,0 +1,245 @@
+// Package campaign is the fleet-audit engine: it runs every registered
+// protocol target × analysis mode combination as one job graph and persists
+// the outcome as a versioned, machine-readable audit bundle.
+//
+// This is the operational layer the paper's end goal implies (§1, §7): run
+// Achilles continuously against a fleet of protocol implementations and
+// catch Trojan-message regressions before attackers do. A single invocation
+// of cmd/achilles audits one target and prints throwaway text; a campaign
+// audits the whole registry catalog under one global -j budget and leaves a
+// diffable artifact behind:
+//
+//   - jobs run on a bounded cross-target worker pool, so a cheap KV audit
+//     proceeds on its own worker instead of queueing behind the Raft
+//     exploration;
+//   - all jobs share one concurrency-safe solver, so the sharded
+//     formula→verdict cache is warm across targets that emit structurally
+//     identical queries;
+//   - the result is a Bundle: a manifest (tool version, jobs, wall time,
+//     structured counters) plus one JSONL Trojan report stream per job,
+//     where every class carries the stable fingerprint used for diffing.
+//
+// Diff compares two bundles class-by-class (appeared / disappeared /
+// changed), which is what the conformance suite and CI consume instead of
+// ad-hoc text output.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"achilles/internal/core"
+	"achilles/internal/protocols/registry"
+	"achilles/internal/solver"
+)
+
+// Version identifies the campaign engine revision recorded in manifests.
+// Bump it when the analysis pipeline changes in a way that makes bundles
+// incomparable (class line format, negate semantics, solver fragment).
+const Version = "achilles-audit/1"
+
+// Job is one unit of the campaign graph: a registered target analysed in
+// one mode.
+type Job struct {
+	Target string    // canonical registry name
+	Mode   core.Mode // analysis mode
+}
+
+// Key is the job's stable identity in manifests and diffs.
+func (j Job) Key() string { return j.Target + "/" + j.Mode.String() }
+
+// Options configure a campaign run.
+type Options struct {
+	// Targets lists registry names to audit; empty means every registered
+	// target.
+	Targets []string
+	// Modes lists the analysis modes to run per target; empty means
+	// ModeOptimized only.
+	Modes []core.Mode
+	// Jobs is the global parallelism budget (the -j knob): it bounds the
+	// total number of analysis workers across the whole campaign, shared
+	// between concurrently running jobs. Values <= 0 mean 1.
+	Jobs int
+	// Solver is the shared solver; nil creates one solver.Default() whose
+	// sharded verdict cache is shared by every job of the campaign.
+	Solver *solver.Solver
+}
+
+// Plan expands the options into the concrete job list, in deterministic
+// (target, mode) order. Unknown target names are an error.
+func Plan(opts Options) ([]Job, error) {
+	names := opts.Targets
+	if len(names) == 0 {
+		names = registry.Names()
+	} else {
+		canon := make([]string, len(names))
+		for i, n := range names {
+			d, ok := registry.Lookup(n)
+			if !ok {
+				return nil, fmt.Errorf("campaign: unknown target %q (registered: %v)", n, registry.Names())
+			}
+			canon[i] = d.Name
+		}
+		sort.Strings(canon)
+		names = canon
+	}
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = []core.Mode{core.ModeOptimized}
+	}
+	var jobs []Job
+	seen := map[string]bool{}
+	for _, n := range names {
+		for _, m := range modes {
+			j := Job{Target: n, Mode: m}
+			if seen[j.Key()] {
+				continue
+			}
+			seen[j.Key()] = true
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}
+
+// Run executes the campaign and returns the in-memory bundle. The job graph
+// runs on min(Jobs, len(jobs)) pool workers; the global budget is split so
+// that the campaign never runs more than ~Jobs analysis workers in total
+// (each job gets max(1, Jobs/poolWorkers) intra-job parallelism). Because
+// the per-job Trojan class set is parallelism-independent (the core
+// contract), the bundle's class sets are identical for every Jobs value.
+//
+// A job that fails is recorded in its manifest entry (Error field) rather
+// than aborting the campaign; Run returns an error only when the plan
+// itself is invalid.
+func Run(opts Options) (*Bundle, error) {
+	jobs, err := Plan(opts)
+	if err != nil {
+		return nil, err
+	}
+	budget := opts.Jobs
+	if budget <= 0 {
+		budget = 1
+	}
+	sol := opts.Solver
+	if sol == nil {
+		sol = solver.Default()
+	}
+	poolWorkers := budget
+	if poolWorkers > len(jobs) {
+		poolWorkers = len(jobs)
+	}
+	perJob := budget / poolWorkers
+	if perJob < 1 {
+		perJob = 1
+	}
+
+	b := &Bundle{
+		Manifest: Manifest{
+			FormatVersion: FormatVersion,
+			Tool:          Version,
+			Jobs:          budget,
+			CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		},
+		Reports: map[string][]Report{},
+	}
+	runs := make([]RunManifest, len(jobs))
+	reports := make([][]Report, len(jobs))
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < poolWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				runs[i], reports[i] = runJob(jobs[i], perJob, sol)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	b.Manifest.WallMS = time.Since(start).Milliseconds()
+	for i := range jobs {
+		b.Manifest.Runs = append(b.Manifest.Runs, runs[i])
+		// Failed jobs have no report stream — leave them out of Reports so
+		// an in-memory bundle matches its own write→read round trip (Read
+		// skips errored manifest entries too).
+		if runs[i].Error == "" {
+			b.Reports[jobs[i].Key()] = reports[i]
+		}
+	}
+	st := sol.Stats()
+	b.Manifest.Solver = Counters{
+		"queries":      int64(st.Queries),
+		"cache_hits":   int64(st.CacheHits),
+		"cache_misses": int64(st.CacheMisses),
+		"unknowns":     int64(st.Unknowns),
+	}
+	return b, nil
+}
+
+// runJob executes one target×mode analysis with the shared solver and the
+// given intra-job parallelism, and converts the outcome into its manifest
+// entry and report stream.
+func runJob(j Job, parallelism int, sol *solver.Solver) (RunManifest, []Report) {
+	rm := RunManifest{
+		Target:     j.Target,
+		Mode:       j.Mode.String(),
+		ReportFile: reportFileName(j),
+	}
+	d, ok := registry.Lookup(j.Target)
+	if !ok {
+		rm.Error = fmt.Sprintf("target %q disappeared from the registry", j.Target)
+		return rm, nil
+	}
+	t0 := time.Now()
+	tgt := d.Target()
+	aopts := d.Analysis
+	aopts.Mode = j.Mode
+	aopts.Parallelism = parallelism
+	aopts.Solver = sol
+	run, err := core.Run(tgt, aopts)
+	rm.WallMS = time.Since(t0).Milliseconds()
+	if err != nil {
+		rm.Error = err.Error()
+		return rm, nil
+	}
+	rm.Classes = len(run.Analysis.Trojans)
+	rm.ClientPaths = len(run.Clients.Paths)
+	rm.Counters = Counters(run.Counters())
+
+	reports := make([]Report, 0, len(run.Analysis.Trojans))
+	fields := tgt.FieldNames
+	for _, tr := range run.Analysis.Trojans {
+		rep := Report{
+			Fingerprint: tr.Fingerprint(),
+			ClassID:     tr.ClassID(),
+			Class:       tr.ClassLine(),
+			Witness:     tr.Witness.String(),
+			Concrete:    tr.Concrete,
+			Fields:      fields,
+			Verified:    tr.VerifiedAccept && tr.VerifiedNotClient,
+			PathLen:     tr.PathLen,
+		}
+		if len(tr.StateEnv) > 0 {
+			rep.State = map[string]int64{}
+			for k, v := range tr.StateEnv {
+				rep.State[k] = v
+			}
+		}
+		reports = append(reports, rep)
+	}
+	// Reports are persisted in canonical class-line order so a bundle is a
+	// deterministic function of the class set, independent of discovery
+	// order and parallelism.
+	sort.Slice(reports, func(a, b int) bool { return reports[a].Class < reports[b].Class })
+	return rm, reports
+}

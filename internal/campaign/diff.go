@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diffing compares two audit bundles class-by-class. The unit of comparison
+// is the Trojan class: a class "appeared" when its symbolic identity
+// (ClassID) exists only in the new bundle, "disappeared" when only in the
+// old one, and "changed" when both bundles carry the identity but the full
+// fingerprints differ (the concrete example or a verification verdict
+// moved). Jobs present in only one bundle are reported separately so a
+// registry addition or removal is visible without drowning in per-class
+// noise.
+
+// ClassChange describes one class-level difference within a job.
+type ClassChange struct {
+	ClassID string
+	// Old/New are the class lines on each side; empty when absent.
+	Old, New string
+}
+
+// JobDiff is the difference of one job key between two bundles.
+type JobDiff struct {
+	Job         string
+	Appeared    []ClassChange // in new only
+	Disappeared []ClassChange // in old only
+	Changed     []ClassChange // same ClassID, different fingerprint
+}
+
+// Empty reports whether the job's class sets are identical.
+func (jd JobDiff) Empty() bool {
+	return len(jd.Appeared) == 0 && len(jd.Disappeared) == 0 && len(jd.Changed) == 0
+}
+
+// BundleDiff is the campaign-level difference between two bundles.
+type BundleDiff struct {
+	// JobsOnlyOld / JobsOnlyNew list job keys present in one bundle only.
+	JobsOnlyOld []string
+	JobsOnlyNew []string
+	// Jobs holds the per-job class diffs for jobs present in both bundles,
+	// sorted by job key; unchanged jobs are included with empty change
+	// lists so consumers can verify coverage.
+	Jobs []JobDiff
+}
+
+// Empty reports whether the two bundles carry identical job sets and
+// identical class sets per job.
+func (d *BundleDiff) Empty() bool {
+	if len(d.JobsOnlyOld) > 0 || len(d.JobsOnlyNew) > 0 {
+		return false
+	}
+	for _, jd := range d.Jobs {
+		if !jd.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff compares two bundles.
+func Diff(prev, next *Bundle) *BundleDiff {
+	d := &BundleDiff{}
+	oldKeys := prev.JobKeys()
+	newKeys := next.JobKeys()
+	newSet := map[string]bool{}
+	for _, k := range newKeys {
+		newSet[k] = true
+	}
+	oldSet := map[string]bool{}
+	for _, k := range oldKeys {
+		oldSet[k] = true
+	}
+	for _, k := range oldKeys {
+		if !newSet[k] {
+			d.JobsOnlyOld = append(d.JobsOnlyOld, k)
+		}
+	}
+	for _, k := range newKeys {
+		if !oldSet[k] {
+			d.JobsOnlyNew = append(d.JobsOnlyNew, k)
+		}
+	}
+	for _, k := range oldKeys {
+		if !newSet[k] {
+			continue
+		}
+		d.Jobs = append(d.Jobs, diffJob(k, prev.Reports[k], next.Reports[k]))
+	}
+	return d
+}
+
+// diffJob compares the class sets of one job. Within a job a ClassID can in
+// principle map to several reports (distinct accepting paths yielding the
+// same witness never happen today, but the format does not forbid it), so
+// both sides are reduced to ClassID → sorted fingerprint/class-line sets
+// before comparison.
+func diffJob(key string, prev, next []Report) JobDiff {
+	jd := JobDiff{Job: key}
+	type classState struct {
+		lines []string // sorted class lines
+		fps   string   // sorted fingerprints, joined — the comparison key
+	}
+	collect := func(reps []Report) map[string]classState {
+		byID := map[string][]Report{}
+		for _, r := range reps {
+			byID[r.ClassID] = append(byID[r.ClassID], r)
+		}
+		out := map[string]classState{}
+		for id, rs := range byID {
+			lines := make([]string, len(rs))
+			fps := make([]string, len(rs))
+			for i, r := range rs {
+				lines[i] = r.Class
+				fps[i] = r.Fingerprint
+			}
+			sort.Strings(lines)
+			sort.Strings(fps)
+			out[id] = classState{lines: lines, fps: strings.Join(fps, ",")}
+		}
+		return out
+	}
+	o := collect(prev)
+	n := collect(next)
+	ids := map[string]bool{}
+	for id := range o {
+		ids[id] = true
+	}
+	for id := range n {
+		ids[id] = true
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	for _, id := range sorted {
+		os, inOld := o[id]
+		ns, inNew := n[id]
+		switch {
+		case inOld && !inNew:
+			jd.Disappeared = append(jd.Disappeared, ClassChange{ClassID: id, Old: strings.Join(os.lines, "; ")})
+		case inNew && !inOld:
+			jd.Appeared = append(jd.Appeared, ClassChange{ClassID: id, New: strings.Join(ns.lines, "; ")})
+		case os.fps != ns.fps:
+			jd.Changed = append(jd.Changed, ClassChange{
+				ClassID: id,
+				Old:     strings.Join(os.lines, "; "),
+				New:     strings.Join(ns.lines, "; "),
+			})
+		}
+	}
+	return jd
+}
+
+// Render prints the diff in a stable human-readable form: a summary line
+// followed by one block per job with differences. An empty diff renders as
+// a single "no changes" line.
+func (d *BundleDiff) Render() string {
+	var b strings.Builder
+	appeared, disappeared, changed := 0, 0, 0
+	for _, jd := range d.Jobs {
+		appeared += len(jd.Appeared)
+		disappeared += len(jd.Disappeared)
+		changed += len(jd.Changed)
+	}
+	if d.Empty() {
+		fmt.Fprintf(&b, "no changes across %d job(s)\n", len(d.Jobs))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d appeared, %d disappeared, %d changed Trojan class(es)\n",
+		appeared, disappeared, changed)
+	for _, k := range d.JobsOnlyOld {
+		fmt.Fprintf(&b, "job only in old bundle: %s\n", k)
+	}
+	for _, k := range d.JobsOnlyNew {
+		fmt.Fprintf(&b, "job only in new bundle: %s\n", k)
+	}
+	for _, jd := range d.Jobs {
+		if jd.Empty() {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:\n", jd.Job)
+		for _, c := range jd.Appeared {
+			fmt.Fprintf(&b, "  + %s\n", c.New)
+		}
+		for _, c := range jd.Disappeared {
+			fmt.Fprintf(&b, "  - %s\n", c.Old)
+		}
+		for _, c := range jd.Changed {
+			fmt.Fprintf(&b, "  ~ %s\n    -> %s\n", c.Old, c.New)
+		}
+	}
+	return b.String()
+}

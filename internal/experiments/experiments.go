@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"achilles/internal/campaign"
 	"achilles/internal/classic"
 	"achilles/internal/core"
 	"achilles/internal/fuzz"
@@ -532,6 +533,81 @@ func (s *Speedup) Render() string {
 	for _, r := range s.Rows {
 		fmt.Fprintf(&b, "  %4d %12s %12s %8d %7.2fx\n",
 			r.Jobs, r.Total.Round(time.Millisecond), r.Server.Round(time.Millisecond), r.Classes, r.Speedup)
+	}
+	return b.String()
+}
+
+// CampaignRow is one parallelism level of the fleet-campaign scaling table.
+type CampaignRow struct {
+	Jobs    int
+	Wall    time.Duration
+	Classes int
+	Speedup float64 // budget-1 wall / this wall
+}
+
+// CampaignScaling is the fleet-audit wall-clock study: the whole registry
+// catalog audited as one campaign (internal/campaign) at increasing global
+// -j budgets. Unlike the per-target speedup table, the campaign overlaps
+// cheap and expensive targets on the cross-target worker pool, so the fleet
+// wall-clock tracks the most expensive job rather than the sum of all jobs.
+type CampaignScaling struct {
+	Rows    []CampaignRow
+	Targets int
+	CPUs    int
+}
+
+// RunCampaignScaling audits every registered target at each budget and
+// verifies that every level produces the identical diffable bundle (the
+// campaign inherits the core determinism contract; it errors out
+// otherwise).
+func RunCampaignScaling(budgets []int) (*CampaignScaling, error) {
+	out := &CampaignScaling{CPUs: runtime.NumCPU()}
+	var baseline *campaign.Bundle
+	var baseWall time.Duration
+	for _, j := range budgets {
+		b, err := campaign.Run(campaign.Options{Jobs: j})
+		if err != nil {
+			return nil, err
+		}
+		for _, rm := range b.Manifest.Runs {
+			if rm.Error != "" {
+				return nil, fmt.Errorf("experiments: campaign job %s: %s", rm.Key(), rm.Error)
+			}
+		}
+		if baseline == nil {
+			baseline = b
+			out.Targets = len(b.Manifest.Runs)
+		} else if d := campaign.Diff(baseline, b); !d.Empty() {
+			return nil, fmt.Errorf("experiments: campaign at -j %d produced a different bundle than -j %d:\n%s",
+				j, budgets[0], d.Render())
+		}
+		classes := 0
+		for _, rm := range b.Manifest.Runs {
+			classes += rm.Classes
+		}
+		row := CampaignRow{
+			Jobs:    j,
+			Wall:    time.Duration(b.Manifest.WallMS) * time.Millisecond,
+			Classes: classes,
+		}
+		if baseWall == 0 {
+			baseWall = row.Wall
+		}
+		if row.Wall > 0 {
+			row.Speedup = float64(baseWall) / float64(row.Wall)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the fleet scaling table.
+func (c *CampaignScaling) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fleet campaign scaling (%d targets, %d CPUs): identical bundle at every -j\n", c.Targets, c.CPUs)
+	fmt.Fprintf(&b, "  %4s %12s %8s %8s\n", "-j", "wall", "classes", "speedup")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "  %4d %12s %8d %7.2fx\n", r.Jobs, r.Wall.Round(time.Millisecond), r.Classes, r.Speedup)
 	}
 	return b.String()
 }

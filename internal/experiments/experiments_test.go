@@ -207,3 +207,24 @@ func TestWildcardSummary(t *testing.T) {
 	}
 	_ = w.Render()
 }
+
+func TestCampaignScaling(t *testing.T) {
+	// Two budgets keep the test affordable while still exercising the
+	// identical-bundle cross-check between levels.
+	c, err := RunCampaignScaling([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(c.Rows))
+	}
+	if c.Targets == 0 {
+		t.Fatal("campaign audited no targets")
+	}
+	if c.Rows[0].Classes != c.Rows[1].Classes {
+		t.Fatalf("class totals differ across budgets: %d vs %d", c.Rows[0].Classes, c.Rows[1].Classes)
+	}
+	if !strings.Contains(c.Render(), "identical bundle") {
+		t.Fatalf("render missing determinism banner:\n%s", c.Render())
+	}
+}

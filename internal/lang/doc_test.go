@@ -1,0 +1,44 @@
+package lang
+
+// LANGUAGE.md is the NL reference; its worked examples must stay
+// compilable. This test extracts every fenced code block that looks like an
+// NL module (contains "func main()") from the repository-root LANGUAGE.md
+// and compiles it, so documentation drift fails the build.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// nlBlocks extracts fenced code blocks containing "func main()" from
+// markdown source.
+func nlBlocks(md string) []string {
+	var out []string
+	parts := strings.Split(md, "```")
+	// Odd-indexed parts are inside fences.
+	for i := 1; i < len(parts); i += 2 {
+		block := parts[i]
+		if strings.Contains(block, "func main()") && !strings.Contains(block, "stmt") {
+			out = append(out, block)
+		}
+	}
+	return out
+}
+
+func TestLanguageReferenceExamplesCompile(t *testing.T) {
+	md, err := os.ReadFile(filepath.Join("..", "..", "LANGUAGE.md"))
+	if err != nil {
+		t.Fatalf("LANGUAGE.md missing: %v", err)
+	}
+	blocks := nlBlocks(string(md))
+	if len(blocks) < 4 {
+		t.Fatalf("expected at least 4 NL example blocks in LANGUAGE.md, found %d", len(blocks))
+	}
+	for i, src := range blocks {
+		if _, err := Compile(src); err != nil {
+			t.Errorf("LANGUAGE.md example block %d does not compile: %v\n%s", i+1, err, src)
+		}
+	}
+}

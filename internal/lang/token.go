@@ -11,7 +11,10 @@
 // environment: recv, send, input, symbolic, assume, accept, reject, exit.
 //
 // The package provides the lexer, parser, type checker and a compiler to a
-// flat jump-based IR that the execution engine interprets.
+// flat jump-based IR that the execution engine interprets. LANGUAGE.md at
+// the repository root is the complete language reference; its worked
+// examples are compiled by this package's tests so the reference cannot
+// drift from the implementation.
 package lang
 
 import "fmt"

@@ -1,0 +1,89 @@
+package protocols
+
+// Bundle conformance: the golden corpus is consumable through audit bundles,
+// not just through in-process runs. A full fleet campaign at -j 1 and -j 8
+// must produce, for every registry target, a persisted class set that
+// byte-matches testdata/<name>.golden after a write→read round trip — the
+// same invariant TestGoldenCorpus pins for direct runs, now pinned for the
+// artifact CI consumes. A seeded golden mutation therefore fails both.
+
+import (
+	"os"
+	"slices"
+	"strings"
+	"testing"
+
+	"achilles/internal/campaign"
+	"achilles/internal/core"
+	"achilles/internal/protocols/registry"
+)
+
+func TestCampaignBundleMatchesGolden(t *testing.T) {
+	for _, jobs := range []int{1, 8} {
+		bundle, err := campaign.Run(campaign.Options{Jobs: jobs})
+		if err != nil {
+			t.Fatalf("campaign (-j %d): %v", jobs, err)
+		}
+		// The conformance contract applies to the persisted artifact: round
+		// trip through disk before comparing.
+		dir := t.TempDir()
+		if err := bundle.Write(dir); err != nil {
+			t.Fatalf("write bundle (-j %d): %v", jobs, err)
+		}
+		loaded, err := campaign.Read(dir)
+		if err != nil {
+			t.Fatalf("read bundle (-j %d): %v", jobs, err)
+		}
+		for _, d := range registry.All() {
+			key := campaign.Job{Target: d.Name, Mode: core.ModeOptimized}.Key()
+			lines, ok := loaded.ClassLines(key)
+			if !ok {
+				t.Errorf("-j %d: bundle has no job %s", jobs, key)
+				continue
+			}
+			content := strings.Join(lines, "\n")
+			if len(lines) > 0 {
+				content += "\n"
+			}
+			want, err := os.ReadFile(goldenPath(d.Name))
+			if err != nil {
+				t.Fatalf("missing golden for %s: %v", d.Name, err)
+			}
+			if string(want) != content {
+				t.Errorf("-j %d: bundle class set for %s diverged from golden\n--- golden ---\n%s--- bundle ---\n%s",
+					jobs, d.Name, want, content)
+			}
+		}
+	}
+}
+
+// TestCampaignBundleDeterministic pins that two independent campaigns (at
+// different -j budgets) over cheap targets produce identical diffable
+// artifacts: Diff reports zero changes and the per-job class lines match.
+func TestCampaignBundleDeterministic(t *testing.T) {
+	opts := func(jobs int) campaign.Options {
+		return campaign.Options{
+			Targets: []string{"kv", "pbft", "paxos"},
+			Modes:   []core.Mode{core.ModeOptimized, core.ModeAPosteriori},
+			Jobs:    jobs,
+		}
+	}
+	b1, err := campaign.Run(opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := campaign.Run(opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := campaign.Diff(b1, b8); !d.Empty() {
+		t.Fatalf("-j 1 vs -j 8 campaign bundles differ:\n%s", d.Render())
+	}
+	for _, key := range b1.JobKeys() {
+		l1, _ := b1.ClassLines(key)
+		l8, _ := b8.ClassLines(key)
+		if !slices.Equal(l1, l8) {
+			t.Errorf("%s: class lines differ between -j 1 and -j 8", key)
+		}
+	}
+}

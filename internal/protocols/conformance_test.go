@@ -10,11 +10,9 @@ package protocols
 //	go test ./internal/protocols -run TestGoldenCorpus -update
 import (
 	"flag"
-	"fmt"
 	"os"
 	"path/filepath"
 	"slices"
-	"sort"
 	"strings"
 	"testing"
 
@@ -24,32 +22,12 @@ import (
 
 var update = flag.Bool("update", false, "regenerate the golden corpus files")
 
-// classLines renders a run's Trojan class set as sorted, stable lines: the
-// symbolic witness, the concrete example, the §3.4 state world (when the
-// target has symbolic local state) and the verification verdicts. Elapsed
-// times, state IDs and report indices are deliberately excluded — they are
-// timing- or scheduling-derived.
+// classLines renders a run's Trojan class set as sorted, stable lines. The
+// canonical rendering lives in core (TrojanReport.ClassLine) and is shared
+// with the audit bundles written by internal/campaign, so golden files,
+// in-process runs and persisted bundles are all byte-comparable.
 func classLines(run *core.RunResult) []string {
-	lines := make([]string, 0, len(run.Analysis.Trojans))
-	for _, tr := range run.Analysis.Trojans {
-		var st string
-		if len(tr.StateEnv) > 0 {
-			keys := make([]string, 0, len(tr.StateEnv))
-			for k := range tr.StateEnv {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			parts := make([]string, len(keys))
-			for i, k := range keys {
-				parts[i] = fmt.Sprintf("%s=%d", k, tr.StateEnv[k])
-			}
-			st = " state{" + strings.Join(parts, " ") + "}"
-		}
-		lines = append(lines, fmt.Sprintf("%s @ %v%s verified=%v",
-			tr.Witness, tr.Concrete, st, tr.VerifiedAccept && tr.VerifiedNotClient))
-	}
-	sort.Strings(lines)
-	return lines
+	return core.ClassLines(run)
 }
 
 // runTarget executes the full two-phase pipeline for a registry target.
