@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	achilles-audit run  [-out DIR] [-targets a,b|all] [-modes m1,m2|all] [-j N] [-golden DIR]
+//	achilles-audit run  [-out DIR] [-force] [-targets a,b|all] [-modes m1,m2|all] [-j N]
+//	                    [-baseline DIR] [-cache FILE] [-golden DIR]
 //	achilles-audit diff OLD_BUNDLE NEW_BUNDLE
 //	achilles-audit ls   [ROOT]
 //
@@ -13,7 +14,24 @@
 // one JSONL Trojan report stream per job). With -golden it additionally
 // cross-checks each optimized-mode job's class lines against the golden
 // corpus (<golden>/<target>.golden) and exits 1 on divergence — the CI
-// regression gate.
+// regression gate; a run truncated by a MaxStates budget counts as
+// divergence too, because its class set is partial.
+//
+// Two flags make repeated audits of an unchanged fleet near-free:
+//
+//   - -baseline DIR reuses reports from a previous bundle for every job
+//     whose input fingerprint (NL model sources + engine/solver/campaign
+//     revisions + mode) matches a clean baseline entry; reused entries are
+//     marked "cached" in the manifest. Changed, new, failed and truncated
+//     jobs re-run.
+//   - -cache FILE persists the solver's formula→verdict cache across
+//     invocations: loaded before the run (a version-mismatched or corrupt
+//     file is ignored with a notice) and saved after, so even a forced full
+//     re-run starts warm. Loaded verdicts are re-verified on first use.
+//
+// -out refuses a directory that already contains files unless -force is
+// given (which replaces the previous bundle); without -out a collision-proof
+// audits/run-<timestamp> directory is created.
 //
 // "diff" compares two bundles class-by-class and exits 0 when identical,
 // 1 when Trojan classes appeared, disappeared or changed, 2 on usage or
@@ -24,6 +42,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,13 +55,15 @@ import (
 	"achilles/internal/core"
 	_ "achilles/internal/protocols"
 	"achilles/internal/protocols/registry"
+	"achilles/internal/solver"
 )
 
 const defaultRoot = "audits"
 
 func usage(w *os.File) {
 	fmt.Fprintln(w, "usage:")
-	fmt.Fprintln(w, "  achilles-audit run  [-out DIR] [-targets a,b|all] [-modes m1,m2|all] [-j N] [-golden DIR]")
+	fmt.Fprintln(w, "  achilles-audit run  [-out DIR] [-force] [-targets a,b|all] [-modes m1,m2|all] [-j N]")
+	fmt.Fprintln(w, "                      [-baseline DIR] [-cache FILE] [-golden DIR]")
 	fmt.Fprintln(w, "  achilles-audit diff OLD_BUNDLE NEW_BUNDLE")
 	fmt.Fprintln(w, "  achilles-audit ls   [ROOT]")
 }
@@ -68,44 +89,65 @@ func main() {
 	}
 }
 
-// parseModes expands a comma-separated -modes value; "all" selects every
-// analysis mode.
-func parseModes(arg string) ([]core.Mode, error) {
-	if arg == "all" {
-		return []core.Mode{core.ModeOptimized, core.ModeNoDifferentFrom, core.ModeAPosteriori}, nil
-	}
-	var out []core.Mode
-	for _, name := range strings.Split(arg, ",") {
-		m, err := core.ParseMode(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
-	}
-	return out, nil
-}
-
-// parseTargets expands a comma-separated -targets value; "all" or the empty
-// string selects every registered target.
-func parseTargets(arg string) []string {
-	if arg == "" || arg == "all" {
-		return nil
-	}
+// splitList tokenises a comma-separated flag value: tokens are trimmed and
+// empty ones (doubled, leading or trailing commas, e.g. "fsp,,kv" or
+// "fsp,") are dropped instead of being passed downstream, where they would
+// surface as a baffling `unknown target ""` error.
+func splitList(arg string) []string {
 	var out []string
-	for _, n := range strings.Split(arg, ",") {
-		if n = strings.TrimSpace(n); n != "" {
-			out = append(out, n)
+	for _, tok := range strings.Split(arg, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
 		}
 	}
 	return out
 }
 
+// parseModes expands a comma-separated -modes value; "all" selects every
+// analysis mode. A value that contains no usable token (e.g. "," or "  ")
+// is an error: silently analysing in the default mode would not be what the
+// user asked for.
+func parseModes(arg string) ([]core.Mode, error) {
+	if arg == "all" {
+		return []core.Mode{core.ModeOptimized, core.ModeNoDifferentFrom, core.ModeAPosteriori}, nil
+	}
+	var out []core.Mode
+	for _, name := range splitList(arg) {
+		m, err := core.ParseMode(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-modes %q selects no analysis mode", arg)
+	}
+	return out, nil
+}
+
+// parseTargets expands a comma-separated -targets value; "all" or the empty
+// string selects every registered target. A non-empty value that contains
+// no usable token (e.g. "," ) is an error rather than a silent "all".
+func parseTargets(arg string) ([]string, error) {
+	if arg == "" || arg == "all" {
+		return nil, nil
+	}
+	out := splitList(arg)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-targets %q selects no target", arg)
+	}
+	return out, nil
+}
+
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("achilles-audit run", flag.ExitOnError)
 	out := fs.String("out", "", "bundle directory (default "+defaultRoot+"/run-<timestamp>)")
+	force := fs.Bool("force", false, "replace an existing bundle at -out (removes its manifest and report streams first)")
 	targets := fs.String("targets", "all", "comma-separated registry targets, or all")
 	modes := fs.String("modes", "optimized", "comma-separated analysis modes, or all")
 	jobs := fs.Int("j", runtime.NumCPU(), "global parallelism budget across the campaign")
+	baseline := fs.String("baseline", "", "previous bundle dir: reuse reports for jobs whose input fingerprint is unchanged")
+	cacheFile := fs.String("cache", "", "persistent solver cache file, loaded before and saved after the run")
 	golden := fs.String("golden", "", "golden corpus dir to cross-check optimized-mode class sets against")
 	fs.Parse(args)
 
@@ -120,19 +162,58 @@ func cmdRun(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	targetList, err := parseTargets(*targets)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	sol := solver.Default()
 	opts := campaign.Options{
-		Targets: parseTargets(*targets),
+		Targets: targetList,
 		Modes:   modeList,
 		Jobs:    *jobs,
+		Solver:  sol,
 	}
 	if _, err := campaign.Plan(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
 		fmt.Fprintf(os.Stderr, "registered targets: %s\n", strings.Join(registry.Names(), ", "))
 		os.Exit(2)
 	}
+	if *baseline != "" {
+		base, err := campaign.Read(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "achilles-audit: -baseline:", err)
+			os.Exit(2)
+		}
+		opts.Baseline = base
+		opts.BaselineDir = *baseline
+	}
+	if *cacheFile != "" {
+		// A missing cache file is the normal first run; a version-mismatched
+		// or unreadable one means cold (and will be replaced on save) — the
+		// audit must not fail because an accelerator artifact went stale.
+		if loaded, err := sol.LoadCache(*cacheFile); err == nil {
+			fmt.Printf("solver cache: loaded %d verdict(s) from %s\n", loaded, *cacheFile)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "achilles-audit: ignoring solver cache: %v\n", err)
+		}
+	}
 	dir := *out
 	if dir == "" {
-		dir = filepath.Join(defaultRoot, "run-"+time.Now().UTC().Format("20060102-150405"))
+		dir, err = claimRunDir(defaultRoot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+			os.Exit(1)
+		}
+	} else if !*force {
+		// Pre-flight the clobber check: refusing AFTER the audit would
+		// throw away the whole campaign's work over a one-syscall mistake.
+		if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+			fmt.Fprintf(os.Stderr, "achilles-audit: %v: %s is not empty\n", campaign.ErrBundleExists, dir)
+			fmt.Fprintln(os.Stderr, "achilles-audit: pass -force to replace the existing bundle")
+			os.Exit(1)
+		}
 	}
 
 	bundle, err := campaign.Run(opts)
@@ -140,13 +221,29 @@ func cmdRun(args []string) {
 		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
 		os.Exit(1)
 	}
-	if err := bundle.Write(dir); err != nil {
+	// Persist the solver cache before anything that can still fail: the
+	// verdicts are valuable even if writing the bundle errors out.
+	if *cacheFile != "" {
+		if err := sol.SaveCache(*cacheFile); err != nil {
+			fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		} else {
+			fmt.Printf("solver cache: saved to %s\n", *cacheFile)
+		}
+	}
+	if *force {
+		err = bundle.Overwrite(dir)
+	} else {
+		err = bundle.Write(dir)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+		if errors.Is(err, campaign.ErrBundleExists) {
+			fmt.Fprintln(os.Stderr, "achilles-audit: pass -force to replace the existing bundle")
+		}
 		os.Exit(1)
 	}
 
-	failed := 0
-	total := 0
+	failed, truncated, total := 0, 0, 0
 	for _, rm := range bundle.Manifest.Runs {
 		if rm.Error != "" {
 			failed++
@@ -154,15 +251,26 @@ func cmdRun(args []string) {
 			continue
 		}
 		total += rm.Classes
-		fmt.Printf("  %-36s %3d class(es) in %5d ms\n", rm.Key(), rm.Classes, rm.WallMS)
+		note := ""
+		if rm.Cached {
+			note = "  (cached)"
+		}
+		if rm.Truncated {
+			truncated++
+			note += "  TRUNCATED"
+		}
+		fmt.Printf("  %-36s %3d class(es) in %5d ms%s\n", rm.Key(), rm.Classes, rm.WallMS, note)
 	}
-	fmt.Printf("wrote %s: %d job(s), %d Trojan class(es), %d ms wall (-j %d)\n",
-		dir, len(bundle.Manifest.Runs), total, bundle.Manifest.WallMS, *jobs)
+	fmt.Printf("wrote %s: %d job(s) (%d cached), %d Trojan class(es), %d ms wall (-j %d)\n",
+		dir, len(bundle.Manifest.Runs), bundle.Manifest.CachedJobs, total, bundle.Manifest.WallMS, *jobs)
 
 	exit := 0
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) failed\n", failed)
 		exit = 1
+	}
+	if truncated > 0 {
+		fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) truncated by MaxStates — class sets are partial\n", truncated)
 	}
 	if *golden != "" {
 		if drift := checkGolden(bundle, *golden); drift > 0 {
@@ -175,15 +283,43 @@ func cmdRun(args []string) {
 	os.Exit(exit)
 }
 
+// claimRunDir creates a fresh default bundle directory under root. The name
+// is run-<UTC timestamp>; when two runs land in the same second the later
+// one gets a .2/.3/... suffix instead of writing into the earlier bundle.
+func claimRunDir(root string) (string, error) {
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return "", fmt.Errorf("create %s: %w", root, err)
+	}
+	base := filepath.Join(root, "run-"+time.Now().UTC().Format("20060102-150405"))
+	dir := base
+	for n := 2; ; n++ {
+		err := os.Mkdir(dir, 0o755)
+		if err == nil {
+			return dir, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return "", fmt.Errorf("create bundle dir: %w", err)
+		}
+		dir = fmt.Sprintf("%s.%d", base, n)
+	}
+}
+
 // checkGolden byte-compares every optimized-mode job's class lines against
 // <dir>/<target>.golden, returning the number of diverging jobs. A missing
 // golden file counts as divergence: a freshly registered target must check
-// in its corpus before the audit gate passes.
+// in its corpus before the audit gate passes. A truncated run counts as
+// divergence even when its (partial) class set happens to match — a gate
+// must never certify a corpus the analysis did not finish computing.
 func checkGolden(b *campaign.Bundle, dir string) int {
 	drift := 0
 	optimized := core.ModeOptimized.String()
 	for _, rm := range b.Manifest.Runs {
 		if rm.Error != "" || rm.Mode != optimized {
+			continue
+		}
+		if rm.Truncated {
+			fmt.Fprintf(os.Stderr, "  %-36s truncated run cannot be gated\n", rm.Key())
+			drift++
 			continue
 		}
 		lines, _ := b.ClassLines(rm.Key())

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"achilles/internal/core"
+)
+
+func TestParseTargetsDropsEmptyTokens(t *testing.T) {
+	got, err := parseTargets("fsp,,kv")
+	if err != nil || !slices.Equal(got, []string{"fsp", "kv"}) {
+		t.Errorf("parseTargets(\"fsp,,kv\") = %v, %v", got, err)
+	}
+	got, err = parseTargets(" fsp , kv, ")
+	if err != nil || !slices.Equal(got, []string{"fsp", "kv"}) {
+		t.Errorf("parseTargets with spaces/trailing comma = %v, %v", got, err)
+	}
+	for _, all := range []string{"", "all"} {
+		if got, err := parseTargets(all); got != nil || err != nil {
+			t.Errorf("parseTargets(%q) = %v, %v, want nil, nil", all, got, err)
+		}
+	}
+	for _, bad := range []string{",", ",,", " , "} {
+		if _, err := parseTargets(bad); err == nil {
+			t.Errorf("parseTargets(%q) accepted a token-free value", bad)
+		}
+	}
+}
+
+func TestParseModesDropsEmptyTokens(t *testing.T) {
+	got, err := parseModes("optimized,,a-posteriori,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Mode{core.ModeOptimized, core.ModeAPosteriori}
+	if !slices.Equal(got, want) {
+		t.Errorf("parseModes = %v, want %v", got, want)
+	}
+	// An empty token must NOT silently select the default mode (ParseMode
+	// maps "" to optimized — the bug this guards against).
+	for _, bad := range []string{",", "", " "} {
+		if _, err := parseModes(bad); err == nil {
+			t.Errorf("parseModes(%q) accepted a token-free value", bad)
+		}
+	}
+	if _, err := parseModes("optimized,nope"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestUsageErrorsExit2 re-executes the test binary as achilles-audit with
+// malformed flags and asserts the process exits with the usage-error code 2
+// (and not 1, the "audit found problems" code CI must distinguish it from).
+func TestUsageErrorsExit2(t *testing.T) {
+	if args := os.Getenv("ACHILLES_AUDIT_ARGS"); args != "" {
+		cmdRun(strings.Split(args, " "))
+		return
+	}
+	cases := map[string]string{
+		"empty-targets":  "-targets ,",
+		"empty-modes":    "-modes ,",
+		"unknown-target": "-targets no-such-proto",
+		"bad-j":          "-j 0",
+		"bad-baseline":   "-baseline /no/such/bundle",
+	}
+	for name, args := range cases {
+		name, args := name, args
+		t.Run(name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0], "-test.run", "TestUsageErrorsExit2")
+			cmd.Env = append(os.Environ(), "ACHILLES_AUDIT_ARGS="+args)
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("want exit error, got %v\noutput:\n%s", err, out)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("exit code %d, want 2\noutput:\n%s", code, out)
+			}
+		})
+	}
+}
+
+// TestClobberRefusedBeforeAuditing: an occupied -out without -force is
+// refused up front (exit 1, with the -force hint) — not after minutes of
+// fleet auditing whose results would then be discarded.
+func TestClobberRefusedBeforeAuditing(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "TestUsageErrorsExit2")
+	cmd.Env = append(os.Environ(), "ACHILLES_AUDIT_ARGS=-out "+dir)
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "-force") {
+		t.Errorf("refusal lacks the -force hint:\n%s", out)
+	}
+	// The pre-flight must fire before any analysis: a fleet audit takes
+	// seconds even on fast hardware, the refusal must not.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("clobber refusal took %v — it ran the audit first", d)
+	}
+}
+
+func TestClaimRunDirCollisionProof(t *testing.T) {
+	root := t.TempDir()
+	seen := map[string]bool{}
+	// Three claims within the same second must yield three distinct, empty,
+	// existing directories (run-<ts>, run-<ts>.2, run-<ts>.3).
+	for i := 0; i < 3; i++ {
+		dir, err := claimRunDir(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[dir] {
+			t.Fatalf("claimRunDir returned %s twice", dir)
+		}
+		seen[dir] = true
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() {
+			t.Fatalf("claimed dir %s not created: %v", dir, err)
+		}
+		if filepath.Dir(dir) != root {
+			t.Errorf("claimed dir %s escaped root %s", dir, root)
+		}
+	}
+}

@@ -4,13 +4,13 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|all [-j N] [-target NAME]
+//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|all [-j N] [-target NAME]
 //
 // -j bounds the worker counts tried by the speedup and campaign experiments
-// (powers of two up to N; default: all CPUs) and drives the sweep. -target
-// restricts the fuzzbase experiment to one registry target (default: every
-// fuzzable one). An invalid -j or unknown experiment is a usage error
-// (exit 2).
+// (powers of two up to N; default: all CPUs) and drives the sweep and the
+// incremental cold-vs-warm study. -target restricts the fuzzbase experiment
+// to one registry target (default: every fuzzable one). An invalid -j or
+// unknown experiment is a usage error (exit 2).
 package main
 
 import (
@@ -155,5 +155,12 @@ func main() {
 			return "", err
 		}
 		return c.Render(), nil
+	})
+	run("incremental", func() (string, error) {
+		ic, err := experiments.RunIncrementalCampaign(nil, *jobs)
+		if err != nil {
+			return "", err
+		}
+		return ic.Render(), nil
 	})
 }

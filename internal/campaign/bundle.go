@@ -3,6 +3,7 @@ package campaign
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -35,6 +36,12 @@ type Manifest struct {
 	// solver and therefore cumulative too).
 	Solver Counters `json:"solver,omitempty"`
 
+	// Baseline records where reused reports came from (the -baseline dir)
+	// and CachedJobs how many manifest entries were reused verbatim; both
+	// are provenance only and excluded from diffing.
+	Baseline   string `json:"baseline,omitempty"`
+	CachedJobs int    `json:"cached_jobs,omitempty"`
+
 	// Runs has one entry per job, in deterministic (target, mode) order.
 	Runs []RunManifest `json:"runs"`
 }
@@ -48,6 +55,19 @@ type RunManifest struct {
 	ClientPaths int      `json:"client_paths,omitempty"`
 	WallMS      int64    `json:"wall_ms"`
 	Counters    Counters `json:"counters,omitempty"`
+	// InputFingerprint is the job's input identity: the hash of the NL
+	// model sources, analysis options, mode and engine/solver/campaign
+	// revisions (registry.Descriptor.InputFingerprint). An incremental run
+	// reuses a baseline entry only when its fingerprint matches exactly.
+	InputFingerprint string `json:"input_fingerprint,omitempty"`
+	// Cached marks an entry whose reports were reused verbatim from the
+	// baseline bundle instead of being recomputed — kept visible so diffs,
+	// the golden gate and humans know nothing ran for this job.
+	Cached bool `json:"cached,omitempty"`
+	// Truncated flags a run cut off by a MaxStates budget: its class set is
+	// partial and must not be pinned as the complete corpus or reused as an
+	// incremental baseline.
+	Truncated bool `json:"truncated,omitempty"`
 	// Error records a failed job; its report stream is absent.
 	Error string `json:"error,omitempty"`
 }
@@ -113,10 +133,47 @@ func reportFileName(j Job) string {
 	return j.Target + "." + mode + ".jsonl"
 }
 
+// ErrBundleExists reports a Write into a directory that already holds
+// files. Writing a new manifest next to another plan's report streams would
+// leave stale per-job .jsonl files that look like part of the new bundle;
+// callers must opt into replacement explicitly (Overwrite / -force).
+var ErrBundleExists = errors.New("campaign: bundle directory is not empty")
+
 // Write persists the bundle under dir (created if needed): manifest.json
 // plus one JSONL report file per successful job. Files are written with
-// stable ordering so identical runs produce byte-identical bundles.
+// stable ordering so identical runs produce byte-identical bundles. A dir
+// that already contains files is refused with ErrBundleExists — use
+// Overwrite to replace a previous bundle in place.
 func (b *Bundle) Write(dir string) error {
+	if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+		return fmt.Errorf("%w: %s holds %d entr(ies)", ErrBundleExists, dir, len(entries))
+	}
+	return b.write(dir)
+}
+
+// Overwrite replaces the bundle at dir: the previous manifest and every
+// *.jsonl report stream are removed first, so a stale per-job file from a
+// previous (larger) plan can never survive next to the new manifest. Files
+// that are not part of a bundle are left alone.
+func (b *Bundle) Overwrite(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("campaign: overwrite bundle dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || (name != ManifestName && !strings.HasSuffix(name, ".jsonl")) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("campaign: overwrite bundle dir: %w", err)
+		}
+	}
+	return b.write(dir)
+}
+
+// write is the unconditional persistence path shared by Write and Overwrite.
+func (b *Bundle) write(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("campaign: create bundle dir: %w", err)
 	}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,11 +38,69 @@ func TestReadRejectsMissingManifest(t *testing.T) {
 func TestReadRejectsFutureFormatVersion(t *testing.T) {
 	dir, b := writeTestBundle(t)
 	b.Manifest.FormatVersion = FormatVersion + 1
-	if err := b.Write(dir); err != nil {
+	if err := b.Overwrite(dir); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Read(dir); err == nil || !strings.Contains(err.Error(), "format version") {
 		t.Fatalf("future format version not rejected: %v", err)
+	}
+}
+
+func TestWriteRefusesNonEmptyDir(t *testing.T) {
+	dir, b := writeTestBundle(t)
+	if err := b.Write(dir); !errors.Is(err, ErrBundleExists) {
+		t.Fatalf("rewrite into existing bundle dir: want ErrBundleExists, got %v", err)
+	}
+	// Any pre-existing file blocks the write, not just bundle files.
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(dir2); !errors.Is(err, ErrBundleExists) {
+		t.Fatalf("write into dir with foreign file: want ErrBundleExists, got %v", err)
+	}
+	// An existing but empty dir is fine (claimed by claimRunDir-style flows).
+	dir3 := t.TempDir()
+	if err := b.Write(dir3); err != nil {
+		t.Fatalf("write into empty dir: %v", err)
+	}
+}
+
+// TestOverwriteRemovesStaleReports pins the clobber regression: writing a
+// smaller plan over a larger bundle must not leave the removed job's .jsonl
+// stream on disk next to the new manifest, while foreign files survive.
+func TestOverwriteRemovesStaleReports(t *testing.T) {
+	big := mustRun(t, Options{Targets: []string{"kv", "kv-fixed"}, Jobs: 1})
+	dir := t.TempDir()
+	if err := big.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	foreign := filepath.Join(dir, "README.txt")
+	if err := os.WriteFile(foreign, []byte("ops notes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	staleFile := ""
+	for _, rm := range big.Manifest.Runs {
+		if rm.Target == "kv-fixed" {
+			staleFile = rm.ReportFile
+		}
+	}
+	small := mustRun(t, Options{Targets: []string{"kv"}, Jobs: 1})
+	if err := small.Overwrite(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, staleFile)); !os.IsNotExist(err) {
+		t.Errorf("stale report %s survived Overwrite", staleFile)
+	}
+	if _, err := os.Stat(foreign); err != nil {
+		t.Errorf("foreign file removed by Overwrite: %v", err)
+	}
+	loaded, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(small, loaded); !d.Empty() {
+		t.Fatalf("overwritten bundle does not round-trip:\n%s", d.Render())
 	}
 }
 

@@ -22,6 +22,17 @@
 // Diff compares two bundles class-by-class (appeared / disappeared /
 // changed), which is what the conformance suite and CI consume instead of
 // ad-hoc text output.
+//
+// Campaigns are incremental: every manifest entry records the job's input
+// fingerprint (registry.Descriptor.InputFingerprint — NL model sources,
+// exec options, mode, engine/solver/campaign revisions), and a run given a
+// baseline bundle (Options.Baseline) reuses baseline reports verbatim for
+// jobs whose fingerprint matches a clean entry, re-running only changed,
+// new, failed or truncated jobs. Reused entries are marked Cached so the
+// manifest never overstates what ran. Combined with the solver's persisted
+// verdict cache (solver.SaveCache/LoadCache, the -cache flag), repeated
+// audits of an unchanged fleet cost fingerprint recomputation instead of
+// O(catalog) re-exploration.
 package campaign
 
 import (
@@ -65,6 +76,15 @@ type Options struct {
 	// Solver is the shared solver; nil creates one solver.Default() whose
 	// sharded verdict cache is shared by every job of the campaign.
 	Solver *solver.Solver
+	// Baseline is a previous bundle (typically Read from disk). A job whose
+	// input fingerprint matches a clean baseline entry — same fingerprint,
+	// no error, not truncated — reuses the baseline reports verbatim and is
+	// marked Cached in the manifest; changed, new, failed and truncated
+	// jobs re-run. Nil disables reuse.
+	Baseline *Bundle
+	// BaselineDir is recorded in the manifest for provenance when Baseline
+	// is set (it does not affect reuse decisions).
+	BaselineDir string
 }
 
 // Plan expands the options into the concrete job list, in deterministic
@@ -105,11 +125,18 @@ func Plan(opts Options) ([]Job, error) {
 }
 
 // Run executes the campaign and returns the in-memory bundle. The job graph
-// runs on min(Jobs, len(jobs)) pool workers; the global budget is split so
-// that the campaign never runs more than ~Jobs analysis workers in total
-// (each job gets max(1, Jobs/poolWorkers) intra-job parallelism). Because
+// runs on min(Jobs, jobs-to-run) pool workers; the global budget is split
+// across them with the remainder distributed (splitBudget), so the campaign
+// runs ~Jobs analysis workers in total and never floors slots away. Because
 // the per-job Trojan class set is parallelism-independent (the core
 // contract), the bundle's class sets are identical for every Jobs value.
+//
+// With Options.Baseline set the run is incremental: every job's input
+// fingerprint (registry.Descriptor.InputFingerprint, salted with the
+// campaign Version) is compared against the baseline manifest, and clean
+// matches reuse the baseline reports verbatim — marked Cached so the
+// manifest stays honest about what actually ran. Only changed, new,
+// previously-failed or truncated jobs execute.
 //
 // A job that fails is recorded in its manifest entry (Error field) rather
 // than aborting the campaign; Run returns an error only when the plan
@@ -127,14 +154,6 @@ func Run(opts Options) (*Bundle, error) {
 	if sol == nil {
 		sol = solver.Default()
 	}
-	poolWorkers := budget
-	if poolWorkers > len(jobs) {
-		poolWorkers = len(jobs)
-	}
-	perJob := budget / poolWorkers
-	if perJob < 1 {
-		perJob = 1
-	}
 
 	b := &Bundle{
 		Manifest: Manifest{
@@ -148,26 +167,58 @@ func Run(opts Options) (*Bundle, error) {
 	runs := make([]RunManifest, len(jobs))
 	reports := make([][]Report, len(jobs))
 
+	// Fingerprint every job up front: fingerprints decide baseline reuse
+	// here and are recorded in the manifest either way, so THIS bundle can
+	// serve as the next run's baseline.
+	fps := make([]string, len(jobs))
+	for i, j := range jobs {
+		if d, ok := registry.Lookup(j.Target); ok {
+			fps[i] = d.InputFingerprint(j.Mode, Version)
+		}
+	}
+
 	start := time.Now()
+	var toRun []int
+	for i, j := range jobs {
+		if rm, reps, ok := reuseFromBaseline(opts.Baseline, j, fps[i]); ok {
+			runs[i], reports[i] = rm, reps
+			continue
+		}
+		toRun = append(toRun, i)
+	}
+
+	poolWorkers := budget
+	if poolWorkers > len(toRun) {
+		poolWorkers = len(toRun)
+	}
+	perWorker := splitBudget(budget, poolWorkers)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < poolWorkers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				runs[i], reports[i] = runJob(jobs[i], perJob, sol)
+				runs[i], reports[i] = runJob(jobs[i], perWorker[w], sol)
 			}
 		}()
 	}
-	for i := range jobs {
+	for _, i := range toRun {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
 
 	b.Manifest.WallMS = time.Since(start).Milliseconds()
+	if opts.Baseline != nil {
+		b.Manifest.Baseline = opts.BaselineDir
+	}
 	for i := range jobs {
+		runs[i].InputFingerprint = fps[i]
+		if runs[i].Cached {
+			b.Manifest.CachedJobs++
+		}
 		b.Manifest.Runs = append(b.Manifest.Runs, runs[i])
 		// Failed jobs have no report stream — leave them out of Reports so
 		// an in-memory bundle matches its own write→read round trip (Read
@@ -178,12 +229,67 @@ func Run(opts Options) (*Bundle, error) {
 	}
 	st := sol.Stats()
 	b.Manifest.Solver = Counters{
-		"queries":      int64(st.Queries),
-		"cache_hits":   int64(st.CacheHits),
-		"cache_misses": int64(st.CacheMisses),
-		"unknowns":     int64(st.Unknowns),
+		"queries":         int64(st.Queries),
+		"cache_hits":      int64(st.CacheHits),
+		"cache_misses":    int64(st.CacheMisses),
+		"unknowns":        int64(st.Unknowns),
+		"reverified":      int64(st.Reverified),
+		"reverify_failed": int64(st.ReverifyFailed),
 	}
 	return b, nil
+}
+
+// reuseFromBaseline decides whether a job may skip execution: the baseline
+// must hold a manifest entry for the same job key that succeeded, was not
+// truncated, carries a fingerprint, matches the job's current fingerprint,
+// and has a report stream consistent with its class count. The returned
+// manifest entry is the baseline's, marked Cached with WallMS zeroed (no
+// work happened in this run).
+func reuseFromBaseline(base *Bundle, j Job, fp string) (RunManifest, []Report, bool) {
+	if base == nil || fp == "" {
+		return RunManifest{}, nil, false
+	}
+	for _, rm := range base.Manifest.Runs {
+		if rm.Key() != j.Key() {
+			continue
+		}
+		if rm.Error != "" || rm.Truncated || rm.InputFingerprint == "" || rm.InputFingerprint != fp {
+			return RunManifest{}, nil, false
+		}
+		reps, ok := base.Reports[j.Key()]
+		if !ok || len(reps) != rm.Classes {
+			return RunManifest{}, nil, false
+		}
+		out := rm
+		out.Cached = true
+		out.WallMS = 0
+		return out, append([]Report{}, reps...), true
+	}
+	return RunManifest{}, nil, false
+}
+
+// splitBudget distributes the global -j budget over the pool workers:
+// every worker gets budget/workers, and the remainder lands on the first
+// budget%workers workers — so a -j 8 campaign over 5 jobs runs 2+2+2+1+1
+// analysis workers instead of flooring every job to 1 and idling 3 slots.
+// The returned slice sums to exactly max(budget, workers).
+func splitBudget(budget, workers int) []int {
+	out := make([]int, workers)
+	if workers == 0 {
+		return out
+	}
+	base := budget / workers
+	extra := budget % workers
+	if base < 1 {
+		base, extra = 1, 0
+	}
+	for w := range out {
+		out[w] = base
+		if w < extra {
+			out[w]++
+		}
+	}
+	return out
 }
 
 // runJob executes one target×mode analysis with the shared solver and the
@@ -214,6 +320,7 @@ func runJob(j Job, parallelism int, sol *solver.Solver) (RunManifest, []Report) 
 	}
 	rm.Classes = len(run.Analysis.Trojans)
 	rm.ClientPaths = len(run.Clients.Paths)
+	rm.Truncated = run.Truncated()
 	rm.Counters = Counters(run.Counters())
 
 	reports := make([]Report, 0, len(run.Analysis.Trojans))

@@ -117,6 +117,12 @@ type Result struct {
 	SolverStats     solver.Stats
 }
 
+// Truncated reports whether the server exploration hit Exec.MaxStates with
+// states left unexplored. A truncated analysis yields a *partial* Trojan
+// class set: consumers (campaign manifests, the golden gate) must flag the
+// run rather than pin its corpus as the complete result.
+func (r *Result) Truncated() bool { return r.EngineStats.Truncated }
+
 // liveData is the per-state analysis payload: the IDs of client path
 // predicates that can still trigger the state.
 type liveData struct {

@@ -131,6 +131,11 @@ type ClientPredicate struct {
 
 	// PreprocessStats records the work done by Preprocess.
 	PreprocessStats PreprocessStats
+
+	// Truncated reports that at least one client exploration hit its
+	// MaxStates budget: the predicate under-approximates what clients can
+	// send, so "no client generates it" verdicts built on it are suspect.
+	Truncated bool
 }
 
 // PreprocessStats summarises predicate preprocessing.
@@ -232,6 +237,9 @@ func ExtractClientPredicate(clients []ClientProgram, opts ExtractOptions) (*Clie
 			return nil, fmt.Errorf("core: client %s: %w", cl.Name, errs[ci])
 		}
 		res := results[ci]
+		if res.Stats.Truncated {
+			pc.Truncated = true
+		}
 		for _, st := range res.States {
 			if st.Status == symexec.StatusError {
 				return nil, fmt.Errorf("core: client %s: path error: %v", cl.Name, st.Err)

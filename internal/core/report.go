@@ -90,6 +90,7 @@ func (r *Result) Counters() Counters {
 		"engine_forks":        int64(r.EngineStats.Forks),
 		"engine_steps":        int64(r.EngineStats.Steps),
 		"engine_solver_calls": int64(r.EngineStats.SolverCalls),
+		"engine_truncated":    boolCounter(r.EngineStats.Truncated),
 		"solver_queries":      int64(r.SolverStats.Queries),
 		"solver_cache_hits":   int64(r.SolverStats.CacheHits),
 		"solver_cache_misses": int64(r.SolverStats.CacheMisses),
@@ -98,10 +99,19 @@ func (r *Result) Counters() Counters {
 	return c
 }
 
+// boolCounter renders a flag into the flat counter map (0 or 1).
+func boolCounter(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Counters flattens the counters of a full two-phase run: the analysis
 // counters plus the client-predicate shape and preprocessing work.
 func (r *RunResult) Counters() Counters {
 	c := r.Analysis.Counters()
+	c["truncated"] = boolCounter(r.Truncated())
 	c["client_paths"] = int64(len(r.Clients.Paths))
 	ps := r.Clients.PreprocessStats
 	c["preprocess_raw_paths"] = int64(ps.RawPaths)

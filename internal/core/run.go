@@ -42,6 +42,14 @@ func (r *RunResult) Total() time.Duration {
 	return r.ClientExtractTime + r.PreprocessTime + r.ServerTime
 }
 
+// Truncated reports whether either phase hit a MaxStates budget: a truncated
+// server exploration yields a partial Trojan class set, and a truncated
+// client extraction yields an under-approximated client predicate. Either
+// way the run's class set must not be pinned as the complete corpus.
+func (r *RunResult) Truncated() bool {
+	return r.Clients.Truncated || r.Analysis.Truncated()
+}
+
 // Run executes both Achilles phases on a target. opts.Parallelism drives
 // every phase: concurrent client extraction, parallel predicate
 // preprocessing, and the worker-pool server exploration.

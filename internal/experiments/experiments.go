@@ -12,6 +12,8 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"slices"
 	"sort"
@@ -25,6 +27,7 @@ import (
 	"achilles/internal/protocols/fsp"
 	"achilles/internal/protocols/pbft"
 	"achilles/internal/protocols/registry"
+	"achilles/internal/solver"
 
 	// Populate the protocol registry: every experiment resolves its targets,
 	// oracles and fuzz generators from there.
@@ -609,6 +612,116 @@ func (c *CampaignScaling) Render() string {
 	for _, r := range c.Rows {
 		fmt.Fprintf(&b, "  %4d %12s %8d %7.2fx\n", r.Jobs, r.Wall.Round(time.Millisecond), r.Classes, r.Speedup)
 	}
+	return b.String()
+}
+
+// IncrementalCampaign is the cold-vs-warm fleet audit study: the whole
+// catalog audited three times — cold (fresh solver, no baseline), with only
+// the persisted solver cache warm (a forced full re-run), and fully
+// incremental (baseline reuse + warm cache). The incremental row is the
+// paper's continuous-audit steady state: an unchanged fleet re-audits for
+// the price of recomputing input fingerprints.
+type IncrementalCampaign struct {
+	Targets      int
+	TotalJobs    int
+	Jobs         int // the -j budget used for every run
+	CacheEntries int // solver verdicts persisted between the runs
+
+	ColdWall        time.Duration
+	WarmCacheWall   time.Duration // full re-run, persisted solver cache loaded
+	IncrementalWall time.Duration // baseline reuse + warm cache
+	CachedJobs      int           // jobs reused verbatim in the incremental run
+}
+
+// RunIncrementalCampaign measures the three runs over targets (nil = whole
+// catalog) and verifies every bundle is identical to the cold one — reuse
+// must never change an answer. The solver cache round-trips through a real
+// file, exactly as `achilles-audit run -cache` does.
+func RunIncrementalCampaign(targets []string, jobs int) (*IncrementalCampaign, error) {
+	opts := func(sol *solver.Solver) campaign.Options {
+		return campaign.Options{Targets: targets, Jobs: jobs, Solver: sol}
+	}
+	coldSol := solver.Default()
+	cold, err := campaign.Run(opts(coldSol))
+	if err != nil {
+		return nil, err
+	}
+	for _, rm := range cold.Manifest.Runs {
+		if rm.Error != "" {
+			return nil, fmt.Errorf("experiments: cold campaign job %s: %s", rm.Key(), rm.Error)
+		}
+	}
+	dir, err := os.MkdirTemp("", "achilles-incremental-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cacheFile := filepath.Join(dir, "solver-cache.jsonl")
+	if err := coldSol.SaveCache(cacheFile); err != nil {
+		return nil, err
+	}
+
+	out := &IncrementalCampaign{
+		Targets:   len(targets),
+		TotalJobs: len(cold.Manifest.Runs),
+		Jobs:      jobs,
+		ColdWall:  time.Duration(cold.Manifest.WallMS) * time.Millisecond,
+	}
+	if targets == nil {
+		out.Targets = len(cold.Manifest.Runs)
+	}
+
+	// Forced full re-run with only the solver cache warm.
+	warmSol := solver.Default()
+	if out.CacheEntries, err = warmSol.LoadCache(cacheFile); err != nil {
+		return nil, err
+	}
+	warm, err := campaign.Run(opts(warmSol))
+	if err != nil {
+		return nil, err
+	}
+	if d := campaign.Diff(cold, warm); !d.Empty() {
+		return nil, fmt.Errorf("experiments: warm-cache campaign changed the bundle:\n%s", d.Render())
+	}
+	out.WarmCacheWall = time.Duration(warm.Manifest.WallMS) * time.Millisecond
+
+	// Fully incremental: baseline reuse + warm cache.
+	incSol := solver.Default()
+	if _, err := incSol.LoadCache(cacheFile); err != nil {
+		return nil, err
+	}
+	incOpts := opts(incSol)
+	incOpts.Baseline = cold
+	inc, err := campaign.Run(incOpts)
+	if err != nil {
+		return nil, err
+	}
+	if d := campaign.Diff(cold, inc); !d.Empty() {
+		return nil, fmt.Errorf("experiments: incremental campaign changed the bundle:\n%s", d.Render())
+	}
+	out.IncrementalWall = time.Duration(inc.Manifest.WallMS) * time.Millisecond
+	out.CachedJobs = inc.Manifest.CachedJobs
+	return out, nil
+}
+
+// Render prints the cold/warm table.
+func (ic *IncrementalCampaign) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Incremental fleet audit (%d jobs, -j %d): identical bundle on every row\n",
+		ic.TotalJobs, ic.Jobs)
+	fmt.Fprintf(&b, "  %-28s %12s %10s %10s\n", "run", "wall", "jobs run", "of cold")
+	row := func(name string, wall time.Duration, jobsRun int) {
+		pctCold := 100.0
+		if ic.ColdWall > 0 {
+			pctCold = 100 * float64(wall) / float64(ic.ColdWall)
+		}
+		fmt.Fprintf(&b, "  %-28s %12s %10d %9.1f%%\n", name, wall.Round(time.Millisecond), jobsRun, pctCold)
+	}
+	row("cold", ic.ColdWall, ic.TotalJobs)
+	row("warm solver cache", ic.WarmCacheWall, ic.TotalJobs)
+	row("incremental (-baseline)", ic.IncrementalWall, ic.TotalJobs-ic.CachedJobs)
+	fmt.Fprintf(&b, "  persisted solver verdicts: %d; jobs reused verbatim: %d/%d\n",
+		ic.CacheEntries, ic.CachedJobs, ic.TotalJobs)
 	return b.String()
 }
 

@@ -208,6 +208,35 @@ func TestWildcardSummary(t *testing.T) {
 	_ = w.Render()
 }
 
+func TestIncrementalCampaign(t *testing.T) {
+	// Cheap targets keep the three-run study affordable; the whole-catalog
+	// numbers live in EXPERIMENTS.md (benchtab -exp incremental).
+	ic, err := RunIncrementalCampaign([]string{"kv", "kv-fixed", "paxos"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.TotalJobs != 3 {
+		t.Fatalf("want 3 jobs, got %d", ic.TotalJobs)
+	}
+	if ic.CachedJobs != ic.TotalJobs {
+		t.Fatalf("unchanged fleet reused %d/%d jobs", ic.CachedJobs, ic.TotalJobs)
+	}
+	if ic.CacheEntries == 0 {
+		t.Fatal("no solver verdicts survived the persistence round trip")
+	}
+	// RunIncrementalCampaign itself fails on any bundle divergence, so the
+	// rows here are guaranteed comparable; the incremental run must not cost
+	// more than the cold one (it only computes fingerprints). Wall clocks
+	// are noisy in CI, so assert ordering rather than the <20% headline
+	// ratio, which EXPERIMENTS.md records from a quiet machine.
+	if ic.IncrementalWall > ic.ColdWall {
+		t.Errorf("incremental wall %v exceeds cold wall %v", ic.IncrementalWall, ic.ColdWall)
+	}
+	if !strings.Contains(ic.Render(), "incremental (-baseline)") {
+		t.Fatalf("render missing incremental row:\n%s", ic.Render())
+	}
+}
+
 func TestCampaignScaling(t *testing.T) {
 	// Two budgets keep the test affordable while still exercising the
 	// identical-bundle cross-check between levels.

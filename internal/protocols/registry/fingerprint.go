@@ -1,0 +1,103 @@
+package registry
+
+// Input fingerprints give every target×mode job a stable identity derived
+// from what actually goes INTO the analysis — the NL model sources and the
+// options that shape the result — plus the revisions of the engine and
+// solver that interpret them. Two runs with equal fingerprints are
+// guaranteed to face the same inputs under the same semantics, which is what
+// lets an incremental campaign reuse a baseline report verbatim instead of
+// re-exploring the target (see internal/campaign).
+//
+// The fingerprint is deliberately conservative: anything that *could* change
+// the class set is folded in, so a mismatch at worst re-runs a job that
+// would have produced the same result — never the other way around.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/solver"
+	"achilles/internal/symexec"
+)
+
+// signatureVersion versions the signature rendering itself.
+const signatureVersion = "achilles-input/1"
+
+// InputSignature renders everything that determines the target's analysis
+// result in the given mode as canonical text: the signature layout version,
+// the engine and solver revisions, the mode, the canonical NL sources of the
+// server and every client model, the message layout (field names, mask,
+// shared state), both engines' execution options and the analysis defaults.
+// The rendering is deterministic — maps are sorted, model sources are
+// printed from the checked AST — so equal inputs produce equal signatures
+// byte for byte.
+func (d Descriptor) InputSignature(mode core.Mode) string {
+	t := d.Target()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", signatureVersion)
+	fmt.Fprintf(&b, "engine %s\n", symexec.Version)
+	fmt.Fprintf(&b, "solver %s\n", solver.Version)
+	fmt.Fprintf(&b, "mode %s\n", mode)
+	fmt.Fprintf(&b, "target %s\n", t.Name)
+	fmt.Fprintf(&b, "fields %s\n", strings.Join(t.FieldNames, ","))
+	fmt.Fprintf(&b, "mask %v\n", t.Mask)
+	fmt.Fprintf(&b, "shared-state %v\n", t.SharedState)
+	fmt.Fprintf(&b, "analysis skip-concrete-verification=%v\n", d.Analysis.SkipConcreteVerification)
+	execSignature(&b, "server-exec", t.ServerExec)
+	execSignature(&b, "client-exec", t.ClientExec)
+	fmt.Fprintf(&b, "server-model:\n%s", unitSource(t.Server))
+	for _, cl := range t.Clients {
+		fmt.Fprintf(&b, "client-model %s:\n%s", cl.Name, unitSource(cl.Unit))
+	}
+	return b.String()
+}
+
+// InputFingerprint is the stable hash of the input signature, optionally
+// salted with extra version strings (the campaign engine adds its own
+// revision so that bundle-layout changes also invalidate reuse).
+func (d Descriptor) InputFingerprint(mode core.Mode, extra ...string) string {
+	h := sha256.New()
+	h.Write([]byte(d.InputSignature(mode)))
+	for _, e := range extra {
+		h.Write([]byte{0})
+		h.Write([]byte(e))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// unitSource renders a compiled unit's canonical NL source (the checked AST
+// printed back to text, so formatting noise in the original literal does not
+// perturb the fingerprint).
+func unitSource(u *lang.Unit) string {
+	if u == nil || u.Source == nil {
+		return "<no source>\n"
+	}
+	return lang.Print(u.Source)
+}
+
+// execSignature renders the engine options that shape an exploration:
+// budgets, entry point, variable naming and the §3.4 local-state world.
+func execSignature(b *strings.Builder, label string, o symexec.Options) {
+	fmt.Fprintf(b, "%s entry=%q max-states=%d max-steps=%d msg-prefix=%q input-prefix=%q concrete=%v inputs=%v message=%v\n",
+		label, o.Entry, o.MaxStates, o.MaxSteps, o.MsgPrefix, o.InputPrefix, o.Concrete, o.Inputs, o.Message)
+	if len(o.GlobalConcrete) > 0 {
+		keys := make([]string, 0, len(o.GlobalConcrete))
+		for k := range o.GlobalConcrete {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(b, "%s global-concrete", label)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%d", k, o.GlobalConcrete[k])
+		}
+		b.WriteByte('\n')
+	}
+	if len(o.GlobalSymbolic) > 0 {
+		fmt.Fprintf(b, "%s global-symbolic %v\n", label, o.GlobalSymbolic)
+	}
+}

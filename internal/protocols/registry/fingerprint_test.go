@@ -1,0 +1,108 @@
+package registry_test
+
+// Input-fingerprint semantics: stable for unchanged inputs, sensitive to
+// every input that can change an analysis result — the NL sources, the
+// mode, the exec options and the salt versions — since campaign baseline
+// reuse is exactly as sound as these properties.
+
+import (
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/protocols/registry"
+	"achilles/internal/symexec"
+
+	// Populate the registry with the real catalog.
+	_ "achilles/internal/protocols"
+)
+
+// synthetic builds an unregistered descriptor around one server source —
+// fingerprinting must not require registration.
+func synthetic(serverSrc string, opts symexec.Options) registry.Descriptor {
+	return registry.Descriptor{
+		Name: "synthetic",
+		Target: func() core.Target {
+			return core.Target{
+				Name:       "synthetic",
+				Server:     lang.MustCompile(serverSrc),
+				FieldNames: []string{"a"},
+				ServerExec: opts,
+			}
+		},
+	}
+}
+
+const syntheticSrc = `
+var msg [1]int;
+func main() {
+	recv(msg);
+	if msg[0] > 7 { reject(); }
+	accept();
+}`
+
+func TestFingerprintDeterministic(t *testing.T) {
+	for _, d := range registry.All() {
+		fp1 := d.InputFingerprint(core.ModeOptimized)
+		fp2 := d.InputFingerprint(core.ModeOptimized)
+		if fp1 == "" || fp1 != fp2 {
+			t.Errorf("%s: fingerprint not stable: %q vs %q", d.Name, fp1, fp2)
+		}
+		if d.InputSignature(core.ModeOptimized) != d.InputSignature(core.ModeOptimized) {
+			t.Errorf("%s: signature not deterministic", d.Name)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesTargetsAndModes(t *testing.T) {
+	seen := map[string]string{}
+	for _, d := range registry.All() {
+		for _, mode := range []core.Mode{core.ModeOptimized, core.ModeAPosteriori} {
+			fp := d.InputFingerprint(mode)
+			if prev, dup := seen[fp]; dup {
+				t.Errorf("fingerprint collision: %s/%s and %s", d.Name, mode, prev)
+			}
+			seen[fp] = d.Name + "/" + mode.String()
+		}
+	}
+}
+
+func TestFingerprintTracksModelEdit(t *testing.T) {
+	base := synthetic(syntheticSrc, symexec.Options{})
+	// A one-token model edit (the seeded Trojan scenario: a bound moves).
+	edited := synthetic(
+		"\nvar msg [1]int;\nfunc main() {\n\trecv(msg);\n\tif msg[0] > 8 { reject(); }\n\taccept();\n}",
+		symexec.Options{})
+	if base.InputFingerprint(core.ModeOptimized) == edited.InputFingerprint(core.ModeOptimized) {
+		t.Error("model edit did not change the fingerprint")
+	}
+	// Formatting noise does NOT change it: the signature prints the checked
+	// AST, not the source literal.
+	reformatted := synthetic(
+		"\nvar msg [1]int;\n\n\nfunc main() {\n\trecv(msg);\n\tif msg[0] > 7 {  reject();  }\n\taccept();\n}",
+		symexec.Options{})
+	if base.InputFingerprint(core.ModeOptimized) != reformatted.InputFingerprint(core.ModeOptimized) {
+		t.Error("formatting-only edit changed the fingerprint")
+	}
+}
+
+func TestFingerprintTracksExecOptionsAndSalt(t *testing.T) {
+	base := synthetic(syntheticSrc, symexec.Options{})
+	budgeted := synthetic(syntheticSrc, symexec.Options{MaxStates: 3})
+	if base.InputFingerprint(core.ModeOptimized) == budgeted.InputFingerprint(core.ModeOptimized) {
+		t.Error("MaxStates change did not change the fingerprint")
+	}
+	world := synthetic(syntheticSrc, symexec.Options{GlobalConcrete: map[string]int64{"ballot": 3}})
+	if base.InputFingerprint(core.ModeOptimized) == world.InputFingerprint(core.ModeOptimized) {
+		t.Error("local-state world change did not change the fingerprint")
+	}
+	if base.InputFingerprint(core.ModeOptimized) == base.InputFingerprint(core.ModeAPosteriori) {
+		t.Error("mode change did not change the fingerprint")
+	}
+	if base.InputFingerprint(core.ModeOptimized) == base.InputFingerprint(core.ModeOptimized, "campaign/2") {
+		t.Error("salt did not change the fingerprint")
+	}
+	if base.InputFingerprint(core.ModeOptimized, "a") == base.InputFingerprint(core.ModeOptimized, "b") {
+		t.Error("different salts collide")
+	}
+}

@@ -10,9 +10,13 @@ import (
 
 // verdict is one cached Check outcome. The model is stored as a private copy
 // and cloned again on every hit, so callers may freely mutate what they get.
+// loaded marks entries restored from a persisted cache file: they are
+// re-verified against the live query on first hit (see Solver.Check) before
+// being trusted, because the file contents are outside the process's control.
 type verdict struct {
-	res   Result
-	model expr.Env
+	res    Result
+	model  expr.Env
+	loaded bool
 }
 
 // verdictCache is the sharded formula→verdict memo. Striping the mutexes
@@ -97,4 +101,42 @@ func (c *verdictCache) put(key string, v verdict) {
 	}
 	sh.m[key] = v
 	sh.mu.Unlock()
+}
+
+// putIfAbsent inserts a loaded entry without evicting solved ones: persisted
+// verdicts must never displace entries the live process has already proven.
+// It reports whether the entry was stored.
+func (c *verdictCache) putIfAbsent(key string, v verdict) bool {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, exists := sh.m[key]; exists || len(sh.m) >= c.maxPerS {
+		return false
+	}
+	sh.m[key] = v
+	return true
+}
+
+// snapshot copies every cached entry, sorted by key, for persistence.
+func (c *verdictCache) snapshot() (keys []string, verdicts []verdict) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, v := range sh.m {
+			keys = append(keys, k)
+			verdicts = append(verdicts, v)
+		}
+		sh.mu.Unlock()
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sk := make([]string, len(keys))
+	sv := make([]verdict, len(keys))
+	for i, j := range order {
+		sk[i], sv[i] = keys[j], verdicts[j]
+	}
+	return sk, sv
 }

@@ -40,6 +40,13 @@ import (
 	"achilles/internal/expr"
 )
 
+// Version identifies the decision-procedure revision. It is stamped into
+// persisted verdict caches and folded into audit input fingerprints: bump it
+// whenever a change can alter a verdict (fragment semantics, enumeration
+// policy, Unknown treatment), so stale on-disk caches are discarded at load
+// instead of replaying verdicts this solver would no longer produce.
+const Version = "solver/1"
+
 // Result is the outcome of a satisfiability check.
 type Result int
 
@@ -76,18 +83,27 @@ type Stats struct {
 	Unknowns     int // queries answered Unknown
 	CacheHits    int // queries answered from the verdict cache
 	CacheMisses  int // queries that had to be solved
+
+	// Reverified counts loaded (persisted) verdicts confirmed against the
+	// live query — Sat models re-evaluated, sampled Unsat/Unknown verdicts
+	// re-solved. ReverifyFailed counts loaded verdicts the live check
+	// contradicted; they are replaced, never served.
+	Reverified     int
+	ReverifyFailed int
 }
 
 // counters is the internal, concurrency-safe representation of Stats.
 type counters struct {
-	queries      atomic.Int64
-	decisions    atomic.Int64
-	propagations atomic.Int64
-	splits       atomic.Int64
-	verified     atomic.Int64
-	unknowns     atomic.Int64
-	cacheHits    atomic.Int64
-	cacheMisses  atomic.Int64
+	queries        atomic.Int64
+	decisions      atomic.Int64
+	propagations   atomic.Int64
+	splits         atomic.Int64
+	verified       atomic.Int64
+	unknowns       atomic.Int64
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	reverified     atomic.Int64
+	reverifyFailed atomic.Int64
 }
 
 // Options configure a Solver.
@@ -113,9 +129,10 @@ type Options struct {
 // reused across queries and shared between goroutines: the search state is
 // per-query, statistics are atomic, and the verdict cache is mutex-striped.
 type Solver struct {
-	opts  Options
-	stats counters
-	cache *verdictCache // nil when disabled
+	opts        Options
+	stats       counters
+	cache       *verdictCache // nil when disabled
+	loadedProbe atomic.Int64  // loaded Unsat/Unknown hits, for sampling
 }
 
 // New returns a Solver with the given options.
@@ -153,6 +170,9 @@ func (s *Solver) Stats() Stats {
 		Unknowns:     int(s.stats.unknowns.Load()),
 		CacheHits:    int(s.stats.cacheHits.Load()),
 		CacheMisses:  int(s.stats.cacheMisses.Load()),
+
+		Reverified:     int(s.stats.reverified.Load()),
+		ReverifyFailed: int(s.stats.reverifyFailed.Load()),
 	}
 }
 
@@ -166,6 +186,8 @@ func (s *Solver) ResetStats() {
 	s.stats.unknowns.Store(0)
 	s.stats.cacheHits.Store(0)
 	s.stats.cacheMisses.Store(0)
+	s.stats.reverified.Store(0)
+	s.stats.reverifyFailed.Store(0)
 }
 
 // satLimit is the saturation bound for interval arithmetic: all domain
@@ -176,22 +198,75 @@ const satLimit = int64(1) << 62
 // Check decides the conjunction of the given constraints. On Sat, the
 // returned model assigns every variable occurring in the constraints and has
 // been verified by evaluation.
+//
+// Entries restored by LoadCache are not served blindly: a loaded Sat verdict
+// is re-verified by evaluating the live query under its stored model, and a
+// deterministic 1-in-reverifySample of loaded Unsat/Unknown verdicts is
+// re-solved and compared. A loaded verdict the live check contradicts is
+// replaced and counted in Stats.ReverifyFailed.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
 	s.stats.queries.Add(1)
 	var key string
+	var loaded *verdict
 	if s.cache != nil {
 		key = queryKey(constraints)
 		if ent, ok := s.cache.get(key); ok {
-			s.stats.cacheHits.Add(1)
-			return ent.res, ent.model.Clone()
+			if !ent.loaded || s.trustLoaded(key, ent, constraints) {
+				s.stats.cacheHits.Add(1)
+				return ent.res, ent.model.Clone()
+			}
+			loaded = &ent // distrusted: re-solve and compare below
 		}
 		s.stats.cacheMisses.Add(1)
 	}
 	res, model := s.check(constraints)
+	if loaded != nil {
+		// A Sat entry only reaches the re-solve path when its stored model
+		// failed evaluation — that is a failure even if the fresh verdict is
+		// Sat again. Unsat/Unknown entries reach it as the re-solve sample
+		// and fail only on a verdict flip.
+		if loaded.res == Sat || loaded.res != res {
+			s.stats.reverifyFailed.Add(1)
+		} else {
+			s.stats.reverified.Add(1)
+		}
+	}
 	if s.cache != nil {
 		s.cache.put(key, verdict{res: res, model: model.Clone()})
 	}
 	return res, model
+}
+
+// reverifySample is the sampling period for loaded Unsat/Unknown verdicts:
+// the first and every reverifySample-th such hit is re-solved instead of
+// trusted, so a poisoned or stale cache file is noticed early without
+// re-proving the whole file.
+const reverifySample = 16
+
+// trustLoaded decides whether a verdict restored from disk may be served
+// as-is. Sat entries are verified unconditionally by evaluating the query
+// under the stored model — cheap, and it makes a corrupt model harmless (the
+// query just goes back to the solver). Unsat and Unknown entries carry no
+// checkable witness, so a sampled subset is sent back to the solver instead;
+// Check compares the fresh verdict against the loaded one. Trusted entries
+// are promoted to regular entries, paying the verification cost once.
+func (s *Solver) trustLoaded(key string, ent verdict, constraints []*expr.Expr) bool {
+	switch ent.res {
+	case Sat:
+		for _, c := range constraints {
+			v, err := expr.EvalBool(c, ent.model)
+			if err != nil || !v {
+				return false
+			}
+		}
+		s.stats.reverified.Add(1)
+	default:
+		if s.loadedProbe.Add(1)%reverifySample == 1 {
+			return false
+		}
+	}
+	s.cache.put(key, verdict{res: ent.res, model: ent.model})
+	return true
 }
 
 // check solves one query without consulting the cache.

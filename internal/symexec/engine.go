@@ -33,6 +33,14 @@ import (
 	"achilles/internal/solver"
 )
 
+// Version identifies the exploration semantics of this engine revision.
+// It is folded into audit input fingerprints, so bump it whenever a change
+// can alter the terminal-state set of a run (forking rules, feasibility
+// treatment, truncation policy) — stale campaign baselines then stop being
+// reused instead of silently pinning results the current engine would not
+// reproduce.
+const Version = "symexec/1"
+
 // Status describes how the execution of one path ended.
 type Status uint8
 
@@ -171,8 +179,10 @@ type Options struct {
 	// runs that complete within MaxStates the result is deterministic for
 	// any worker count. A run truncated by MaxStates keeps a scheduling-
 	// dependent subset under parallelism (the sequential engine keeps the
-	// depth-first prefix); size MaxStates as a runaway backstop, not as a
-	// sampling mechanism.
+	// depth-first prefix); both engines enforce the budget on the recorded
+	// terminal count and raise Stats.Truncated, so callers can refuse to
+	// treat a partial terminal set as the full fork tree. Size MaxStates as
+	// a runaway backstop, not as a sampling mechanism.
 	Parallelism int
 
 	// Concrete switches to concrete execution: inputs come from Inputs and
@@ -225,6 +235,14 @@ type Stats struct {
 	Forks       int
 	Steps       int
 	SolverCalls int
+
+	// Truncated reports that MaxStates stopped the exploration while
+	// unexplored states remained on the worklist: the terminal set (and
+	// everything derived from it, e.g. a Trojan class set) is a partial
+	// sample, not the full fork tree. Sequential and parallel runs enforce
+	// the budget on the same counter — terminal states recorded — so the
+	// flag trips identically in both modes.
+	Truncated bool
 }
 
 // Result is the outcome of a run.
@@ -253,7 +271,7 @@ type Engine struct {
 	next atomic.Int64 // state id counter
 
 	par       bool         // parallel run in progress
-	termCount atomic.Int64 // terminal states recorded (parallel MaxStates)
+	termCount atomic.Int64 // terminal states recorded (MaxStates enforcement)
 	front     *frontier    // shared work queue (parallel mode)
 }
 
@@ -264,12 +282,13 @@ type wctx struct {
 	terminals []*State
 }
 
-// record books a terminal state into the worker context. In parallel mode it
-// also maintains the global terminal count that enforces MaxStates.
+// record books a terminal state into the worker context and bumps the global
+// terminal count — the single counter both engines truncate on. In parallel
+// mode reaching MaxStates additionally stops the shared frontier.
 func (e *Engine) record(ctx *wctx, st *State) {
 	ctx.stats.States++
 	ctx.terminals = append(ctx.terminals, st)
-	if e.par && int(e.termCount.Add(1)) >= e.opts.MaxStates {
+	if int(e.termCount.Add(1)) >= e.opts.MaxStates && e.par {
 		e.front.stop()
 	}
 }
@@ -298,6 +317,11 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, fmt.Errorf("symexec: entry function %q must take no parameters", e.opts.Entry)
 	}
 	e.res = &Result{}
+	// Run may be called repeatedly on one Engine: the MaxStates terminal
+	// counter (and the parallel-run state) is per-run, not per-engine.
+	e.termCount.Store(0)
+	e.par = false
+	e.front = nil
 	init := e.initialState(entry)
 	if e.opts.Parallelism > 1 && !e.opts.Concrete {
 		e.runParallel(init)
@@ -312,7 +336,7 @@ func (e *Engine) runSequential(init *State) {
 	ctx := &wctx{}
 	work := []*State{init}
 	for len(work) > 0 {
-		if ctx.stats.States >= e.opts.MaxStates {
+		if int(e.termCount.Load()) >= e.opts.MaxStates {
 			break
 		}
 		st := work[len(work)-1]
@@ -325,6 +349,7 @@ func (e *Engine) runSequential(init *State) {
 		}
 		e.record(ctx, st)
 	}
+	ctx.stats.Truncated = len(work) > 0
 	e.res.States = ctx.terminals
 	e.res.Stats = ctx.stats
 }

@@ -67,6 +67,14 @@ func (f *frontier) stop() {
 	f.cond.Broadcast()
 }
 
+// leftover reports whether unexplored states remained queued when the run
+// ended — the truncation signal of a stopped parallel exploration.
+func (f *frontier) leftover() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.stack) > 0
+}
+
 // runParallel explores the fork tree on Options.Parallelism workers. Each
 // worker pops a state, runs it to a terminal status — publishing forked
 // siblings to the shared frontier so idle workers pick them up — and records
@@ -118,6 +126,7 @@ func (e *Engine) runParallel(init *State) {
 	for i, st := range all {
 		st.ID = i
 	}
+	stats.Truncated = e.front.leftover()
 	e.res.States = all
 	e.res.Stats = stats
 }
