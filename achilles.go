@@ -9,23 +9,43 @@
 // the NL language, and searches the difference PS ∧ ¬PC incrementally while
 // exploring the server.
 //
-// Quick start:
+// # API v2: sessions
+//
+// The v2 surface is the Session API: Start launches a cancellable analysis
+// under a context.Context, streams Trojan classes and progress while the
+// exploration runs, and Wait returns the result. Functional options replace
+// the struct-of-knobs:
 //
 //	server := achilles.MustCompile(serverSrc)
 //	client := achilles.MustCompile(clientSrc)
-//	run, err := achilles.Run(achilles.Target{
+//	sess, err := achilles.Start(ctx, achilles.Target{
 //		Name:    "my-protocol",
 //		Server:  server,
 //		Clients: []achilles.ClientProgram{{Name: "client", Unit: client}},
-//	}, achilles.AnalysisOptions{Parallelism: runtime.NumCPU()})
-//	for _, trojan := range run.Analysis.Trojans {
-//		fmt.Println(trojan)
+//	}, achilles.WithParallelism(runtime.NumCPU()))
+//	if err != nil { ... }
+//	for ev := range sess.Events() {
+//		if ev.Kind == achilles.EventTrojan {
+//			fmt.Println(ev.Trojan) // streamed the moment it is confirmed
+//		}
 //	}
+//	run, err := sess.Wait()
 //
-// AnalysisOptions.Parallelism fans the whole pipeline — client predicate
-// extraction, predicate preprocessing and the server-side frontier — out
-// over that many workers; the reported Trojan class set is identical for
-// every value (see DESIGN.md, "Where the parallelism sits").
+// Cancelling ctx (or hitting its deadline) aborts the exploration cleanly
+// mid-frontier: Wait returns the context error together with the partial
+// result, whose Truncated() reports true. WithFirstTrojan stops the whole
+// fan-out at the first confirmed class — the fast path for "is this target
+// vulnerable at all?" on deep protocols. See DESIGN.md ("API v2") for how
+// the context and the events flow through the layers.
+//
+// WithParallelism fans the whole pipeline — client predicate extraction,
+// predicate preprocessing and the server-side frontier — out over that many
+// workers; the reported Trojan class set is identical for every value (see
+// DESIGN.md, "Where the parallelism sits").
+//
+// The v1 entry points (Run, AnalyzeServer with AnalysisOptions) still work
+// and now delegate to the same context-aware pipeline with a background
+// context; new code should use Start.
 //
 // See examples/ for complete programs, LANGUAGE.md for the NL modelling-
 // language reference (README.md carries the cheat sheet), DESIGN.md for the
@@ -48,6 +68,11 @@ type (
 	// ClientProgram names one compiled client model.
 	ClientProgram = core.ClientProgram
 	// AnalysisOptions configure the server phase (mode, budgets, solver).
+	//
+	// Deprecated: new code should configure a Session through Start's
+	// functional options (WithMode, WithParallelism, ...). The struct
+	// remains the bridge type — WithAnalysisOptions(opts) seeds a session
+	// from it — and keeps the v1 Run/AnalyzeServer entry points compiling.
 	AnalysisOptions = core.AnalysisOptions
 	// RunResult carries the client predicate, the analysis result and the
 	// per-phase timing split.
@@ -61,6 +86,10 @@ type (
 	Mode = core.Mode
 	// ExecOptions configure a symbolic or concrete engine run (local-state
 	// modes, budgets).
+	//
+	// Deprecated: sessions override engine budgets through options such as
+	// WithMaxStates; ExecOptions remains for Target.ServerExec/ClientExec
+	// and the v1 entry points.
 	ExecOptions = symexec.Options
 	// Unit is a compiled NL node program.
 	Unit = lang.Unit
@@ -81,7 +110,10 @@ func MustCompile(src string) *Unit { return lang.MustCompile(src) }
 
 // Run executes both Achilles phases on a target: client predicate
 // extraction (with preprocessing) followed by the server-side Trojan
-// search.
+// search. It blocks until the analysis completes.
+//
+// Deprecated: use Start, which adds cancellation, deadlines, streamed
+// results and progress. Run is Start + Wait under a background context.
 func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
 	return core.Run(t, opts)
 }
@@ -92,6 +124,10 @@ func ExtractClientPredicate(clients []ClientProgram, opts core.ExtractOptions) (
 }
 
 // AnalyzeServer runs only phase 2 against a preprocessed client predicate.
+//
+// Deprecated: use Start for full runs; direct phase-2 callers should move
+// to core-style usage via AnalysisOptions until a session-level split-phase
+// API exists.
 func AnalyzeServer(server *Unit, pc *ClientPredicate, opts AnalysisOptions) (*core.Result, error) {
 	return core.AnalyzeServer(server, pc, opts)
 }

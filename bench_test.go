@@ -4,9 +4,11 @@
 package achilles_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
+	"achilles"
 	"achilles/internal/campaign"
 	"achilles/internal/classic"
 	"achilles/internal/core"
@@ -325,4 +327,28 @@ func BenchmarkFleetCampaign(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(classes), "classes")
+}
+
+// BenchmarkFirstTrojanEarlyExit: the API v2 triage mode — a Session with
+// WithFirstTrojan on the rich FSP corpus, stopping the whole fan-out at the
+// first confirmed class (compare against BenchmarkParallelAnalysisJ4 for
+// the full walk; `benchtab -exp firsttrojan` prints the per-target table).
+func BenchmarkFirstTrojanEarlyExit(b *testing.B) {
+	var found int
+	for i := 0; i < b.N; i++ {
+		sess, err := achilles.Start(context.Background(), fsp.NewRichTarget(false),
+			achilles.WithParallelism(4), achilles.WithFirstTrojan())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := sess.Wait()
+		if err != nil {
+			b.Fatal(err)
+		}
+		found = len(run.Analysis.Trojans)
+		if found == 0 {
+			b.Fatal("early exit found nothing")
+		}
+	}
+	b.ReportMetric(float64(found), "classes")
 }

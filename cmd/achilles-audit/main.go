@@ -5,7 +5,7 @@
 // Usage:
 //
 //	achilles-audit run  [-out DIR] [-force] [-targets a,b|all] [-modes m1,m2|all] [-j N]
-//	                    [-baseline DIR] [-cache FILE] [-golden DIR]
+//	                    [-baseline DIR] [-cache FILE] [-golden DIR] [-timeout DURATION]
 //	achilles-audit diff OLD_BUNDLE NEW_BUNDLE
 //	achilles-audit ls   [ROOT]
 //
@@ -33,6 +33,16 @@
 // given (which replaces the previous bundle); without -out a collision-proof
 // audits/run-<timestamp> directory is created.
 //
+// A campaign is cancellable: -timeout DURATION maps to a context deadline
+// and Ctrl-C (SIGINT) cancels. Either way the partial bundle is still
+// written — jobs the cancellation caught carry an "interrupted" error in
+// the manifest, the manifest itself is flagged interrupted, and the process
+// exits with code 3 (distinct from 1, "audit found problems"). Interrupted
+// bundles are refused as -baseline and by the -golden gate: a campaign that
+// did not finish is evidence, not ground truth. The manifest is written
+// atomically (temp file + rename) and last, so a bundle killed mid-write is
+// unreadable rather than silently partial.
+//
 // "diff" compares two bundles class-by-class and exits 0 when identical,
 // 1 when Trojan classes appeared, disappeared or changed, 2 on usage or
 // I/O errors.
@@ -42,10 +52,12 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -63,7 +75,7 @@ const defaultRoot = "audits"
 func usage(w *os.File) {
 	fmt.Fprintln(w, "usage:")
 	fmt.Fprintln(w, "  achilles-audit run  [-out DIR] [-force] [-targets a,b|all] [-modes m1,m2|all] [-j N]")
-	fmt.Fprintln(w, "                      [-baseline DIR] [-cache FILE] [-golden DIR]")
+	fmt.Fprintln(w, "                      [-baseline DIR] [-cache FILE] [-golden DIR] [-timeout DURATION]")
 	fmt.Fprintln(w, "  achilles-audit diff OLD_BUNDLE NEW_BUNDLE")
 	fmt.Fprintln(w, "  achilles-audit ls   [ROOT]")
 }
@@ -149,10 +161,16 @@ func cmdRun(args []string) {
 	baseline := fs.String("baseline", "", "previous bundle dir: reuse reports for jobs whose input fingerprint is unchanged")
 	cacheFile := fs.String("cache", "", "persistent solver cache file, loaded before and saved after the run")
 	golden := fs.String("golden", "", "golden corpus dir to cross-check optimized-mode class sets against")
+	timeout := fs.Duration("timeout", 0, "abort the campaign after this long (0 = no deadline); the partial bundle exits 3")
 	fs.Parse(args)
 
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "achilles-audit: invalid -j %d (must be >= 1)\n", *jobs)
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "achilles-audit: invalid -timeout %v (must be >= 0)\n", *timeout)
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -186,6 +204,9 @@ func cmdRun(args []string) {
 			fmt.Fprintln(os.Stderr, "achilles-audit: -baseline:", err)
 			os.Exit(2)
 		}
+		if base.Manifest.Interrupted {
+			fmt.Fprintf(os.Stderr, "achilles-audit: baseline %s is from an interrupted campaign — no jobs will be reused\n", *baseline)
+		}
 		opts.Baseline = base
 		opts.BaselineDir = *baseline
 	}
@@ -216,9 +237,21 @@ func cmdRun(args []string) {
 		}
 	}
 
-	bundle, err := campaign.Run(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "achilles-audit:", err)
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	bundle, runErr := campaign.RunCtx(ctx, opts)
+	// Restore default signal handling now: the campaign is done, and a
+	// second Ctrl-C must be able to kill the process during the cache save
+	// and bundle flush below (the atomic manifest write makes that safe).
+	stopSignals()
+	interrupted := errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded)
+	if runErr != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "achilles-audit:", runErr)
 		os.Exit(1)
 	}
 	// Persist the solver cache before anything that can still fail: the
@@ -273,12 +306,26 @@ func cmdRun(args []string) {
 		fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) truncated by MaxStates — class sets are partial\n", truncated)
 	}
 	if *golden != "" {
-		if drift := checkGolden(bundle, *golden); drift > 0 {
-			fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) diverged from the golden corpus in %s\n", drift, *golden)
+		switch {
+		case bundle.Manifest.Interrupted:
+			// Never certify a campaign that did not finish, even if the jobs
+			// that DID run happen to match their golden corpora.
+			fmt.Fprintf(os.Stderr, "achilles-audit: interrupted bundle cannot be gated against %s\n", *golden)
 			exit = 1
-		} else {
-			fmt.Printf("golden check against %s: all optimized-mode class sets match\n", *golden)
+		default:
+			if drift := checkGolden(bundle, *golden); drift > 0 {
+				fmt.Fprintf(os.Stderr, "achilles-audit: %d job(s) diverged from the golden corpus in %s\n", drift, *golden)
+				exit = 1
+			} else {
+				fmt.Printf("golden check against %s: all optimized-mode class sets match\n", *golden)
+			}
 		}
+	}
+	if interrupted {
+		// Distinct exit code: the bundle on disk is a partial artifact, not
+		// an audit verdict.
+		fmt.Fprintf(os.Stderr, "achilles-audit: campaign interrupted (%v) — partial bundle written to %s\n", runErr, dir)
+		os.Exit(3)
 	}
 	os.Exit(exit)
 }

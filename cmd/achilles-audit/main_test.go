@@ -135,3 +135,55 @@ func TestClaimRunDirCollisionProof(t *testing.T) {
 		}
 	}
 }
+
+// TestTimeoutExitsThreeWithPartialBundle: a campaign cut off by -timeout
+// exits with the distinct code 3 and still leaves a readable, interrupted-
+// marked bundle behind; that bundle is then refused as a -baseline (zero
+// cached jobs) by a follow-up run.
+func TestTimeoutExitsThreeWithPartialBundle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "partial")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestUsageErrorsExit2")
+	cmd.Env = append(os.Environ(), "ACHILLES_AUDIT_ARGS=-out "+dir+" -timeout 1ms -j 2")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("want exit 3, got %v\noutput:\n%s", err, out)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("interrupted run left no manifest: %v", err)
+	}
+	if !strings.Contains(string(raw), `"interrupted": true`) {
+		t.Fatalf("manifest not marked interrupted:\n%s", raw)
+	}
+
+	after := filepath.Join(t.TempDir(), "after")
+	cmd = exec.Command(os.Args[0], "-test.run", "TestUsageErrorsExit2")
+	cmd.Env = append(os.Environ(),
+		"ACHILLES_AUDIT_ARGS=-targets kv -out "+after+" -baseline "+dir+" -j 2")
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("follow-up run failed: %v\noutput:\n%s", err, out)
+	}
+	if strings.Contains(string(out), "(cached)") {
+		t.Fatalf("job reused from an interrupted baseline:\n%s", out)
+	}
+}
+
+// TestGoldenGateRefusesInterruptedBundle: -golden on an interrupted
+// campaign exits 3 (interrupted wins) and names the refusal — it must not
+// certify the corpus of a run that did not finish.
+func TestGoldenGateRefusesInterruptedBundle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "partial")
+	cmd := exec.Command(os.Args[0], "-test.run", "TestUsageErrorsExit2")
+	cmd.Env = append(os.Environ(),
+		"ACHILLES_AUDIT_ARGS=-out "+dir+" -timeout 1ms -j 2 -golden ../../internal/protocols/testdata")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("want exit 3, got %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "interrupted bundle cannot be gated") {
+		t.Fatalf("golden gate did not refuse the interrupted bundle:\n%s", out)
+	}
+}

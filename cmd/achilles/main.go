@@ -1,28 +1,42 @@
 // Command achilles runs the Trojan-message analysis on one of the
-// registered targets and prints the discovered Trojan classes.
+// registered targets and prints the discovered Trojan classes — streaming
+// them as the exploration finds them.
 //
 // Usage:
 //
-//	achilles -target fsp [-j N] [-mode optimized|no-differentfrom|a-posteriori] [-json]
+//	achilles -target fsp [-j N] [-mode optimized|no-differentfrom|a-posteriori]
+//	         [-timeout DURATION] [-first] [-quiet] [-json]
 //	achilles -list
 //
 // Targets resolve from the protocol registry (internal/protocols/registry);
 // -list prints every registered name with its one-line summary. -j selects
 // the number of analysis workers (default: all CPUs) across client
 // extraction, predicate preprocessing and the server exploration. The
-// reported Trojan class set is identical for every -j. An unknown target,
-// an unknown -mode or a -j below 1 is a usage error (exit 2).
+// reported Trojan class set is identical for every -j.
+//
+// The analysis runs as a cancellable session (achilles.Start): trojans and
+// periodic progress print live on stderr as the frontier advances (-quiet
+// suppresses them). -timeout maps to a context deadline and Ctrl-C cancels;
+// either way the partial results found so far are printed, marked
+// truncated, and the process exits with code 3 — distinct from 1 (analysis
+// error) and 2 (usage error: unknown target/mode, a -j below 1, or an
+// unparsable -timeout). -first stops the whole exploration at the first
+// confirmed Trojan class (exit 0; the result is marked truncated).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
 	"time"
 
+	"achilles"
 	"achilles/internal/core"
 	_ "achilles/internal/protocols"
 	"achilles/internal/protocols/registry"
@@ -43,6 +57,9 @@ func main() {
 	targetName := flag.String("target", "kv", "target system to analyse (see -list)")
 	modeName := flag.String("mode", "optimized", "analysis mode")
 	jobs := flag.Int("j", runtime.NumCPU(), "number of parallel analysis workers")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline); partial results exit 3")
+	first := flag.Bool("first", false, "stop at the first confirmed Trojan class")
+	quiet := flag.Bool("quiet", false, "suppress live progress and discovery lines on stderr")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	list := flag.Bool("list", false, "list the registered targets and exit")
 	flag.Parse()
@@ -68,66 +85,136 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "achilles: invalid -timeout %v (must be >= 0)\n", *timeout)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	tgt := desc.Target()
-	opts := desc.Analysis
-	opts.Mode = mode
-	opts.Parallelism = *jobs
-	run, err := core.Run(tgt, opts)
+	opts := []achilles.Option{
+		achilles.WithAnalysisOptions(desc.Analysis),
+		achilles.WithMode(mode),
+		achilles.WithParallelism(*jobs),
+	}
+	if *first {
+		opts = append(opts, achilles.WithFirstTrojan())
+	}
+	sess, err := achilles.Start(ctx, tgt, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "achilles:", err)
 		os.Exit(1)
 	}
 
-	if *asJSON {
-		type jsonTrojan struct {
-			Index    int      `json:"index"`
-			Concrete []int64  `json:"concrete"`
-			Witness  string   `json:"witness"`
-			Fields   []string `json:"fields,omitempty"`
-			Verified bool     `json:"verified"`
+	// Live view: phases, discoveries and periodic progress on stderr so
+	// stdout stays parseable (-json) and diff-stable.
+	for ev := range sess.Events() {
+		if *quiet {
+			continue
 		}
-		var out struct {
-			Target      string       `json:"target"`
-			Mode        string       `json:"mode"`
-			Parallelism int          `json:"parallelism"`
-			ClientPaths int          `json:"client_paths"`
-			Trojans     []jsonTrojan `json:"trojans"`
-			TotalMS     int64        `json:"total_ms"`
+		switch ev.Kind {
+		case achilles.EventPhase:
+			fmt.Fprintf(os.Stderr, "phase: %s\n", ev.Phase)
+		case achilles.EventTrojan:
+			fmt.Fprintf(os.Stderr, "trojan found after %v: example %v\n",
+				ev.Trojan.Elapsed.Round(time.Millisecond), ev.Trojan.Concrete)
+		case achilles.EventProgress:
+			p := ev.Progress
+			fmt.Fprintf(os.Stderr, "progress: %v states=%d depth=%d trojans=%d cache=%.0f%%\n",
+				p.Elapsed.Round(time.Millisecond), p.StatesExplored, p.FrontierDepth,
+				p.Trojans, 100*p.CacheHitRate)
 		}
-		out.Target = tgt.Name
-		out.Mode = mode.String()
-		out.Parallelism = *jobs
-		out.ClientPaths = len(run.Clients.Paths)
-		out.TotalMS = run.Total().Milliseconds()
-		for _, tr := range run.Analysis.Trojans {
-			out.Trojans = append(out.Trojans, jsonTrojan{
-				Index:    tr.Index,
-				Concrete: tr.Concrete,
-				Witness:  tr.Witness.String(),
-				Fields:   tgt.FieldNames,
-				Verified: tr.VerifiedAccept && tr.VerifiedNotClient,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "achilles:", err)
-			os.Exit(1)
-		}
-		return
+	}
+	run, err := sess.Wait()
+	// The analysis is over: put SIGINT back to its default so a second
+	// Ctrl-C can kill the process while the summary prints.
+	stop()
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	if err != nil && !interrupted {
+		fmt.Fprintln(os.Stderr, "achilles:", err)
+		os.Exit(1)
+	}
+	if run == nil {
+		// Cancelled before the server phase produced anything.
+		fmt.Fprintln(os.Stderr, "achilles: interrupted before any results:", err)
+		os.Exit(3)
 	}
 
+	if *asJSON {
+		printJSON(run, tgt, mode, *jobs)
+	} else {
+		printText(run, tgt, mode, *jobs)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "achilles: interrupted — partial results above are marked truncated")
+		os.Exit(3)
+	}
+}
+
+func printJSON(run *achilles.RunResult, tgt achilles.Target, mode achilles.Mode, jobs int) {
+	type jsonTrojan struct {
+		Index    int      `json:"index"`
+		Concrete []int64  `json:"concrete"`
+		Witness  string   `json:"witness"`
+		Fields   []string `json:"fields,omitempty"`
+		Verified bool     `json:"verified"`
+	}
+	var out struct {
+		Target      string       `json:"target"`
+		Mode        string       `json:"mode"`
+		Parallelism int          `json:"parallelism"`
+		ClientPaths int          `json:"client_paths"`
+		Truncated   bool         `json:"truncated,omitempty"`
+		Trojans     []jsonTrojan `json:"trojans"`
+		TotalMS     int64        `json:"total_ms"`
+	}
+	out.Target = tgt.Name
+	out.Mode = mode.String()
+	out.Parallelism = jobs
+	out.ClientPaths = len(run.Clients.Paths)
+	out.Truncated = run.Truncated()
+	out.TotalMS = run.Total().Milliseconds()
+	for _, tr := range run.Analysis.Trojans {
+		out.Trojans = append(out.Trojans, jsonTrojan{
+			Index:    tr.Index,
+			Concrete: tr.Concrete,
+			Witness:  tr.Witness.String(),
+			Fields:   tgt.FieldNames,
+			Verified: tr.VerifiedAccept && tr.VerifiedNotClient,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "achilles:", err)
+		os.Exit(1)
+	}
+}
+
+func printText(run *achilles.RunResult, tgt achilles.Target, mode achilles.Mode, jobs int) {
 	fmt.Printf("target %s (mode %s, -j %d): %d client path predicates\n",
-		tgt.Name, mode, *jobs, len(run.Clients.Paths))
+		tgt.Name, mode, jobs, len(run.Clients.Paths))
 	fmt.Printf("phases: extract %v, preprocess %v, server %v\n",
 		run.ClientExtractTime.Round(time.Millisecond),
 		run.PreprocessTime.Round(time.Millisecond),
 		run.ServerTime.Round(time.Millisecond))
+	note := ""
+	if run.Truncated() {
+		note = " (truncated — partial class set)"
+	}
 	if len(run.Analysis.Trojans) == 0 {
-		fmt.Println("no Trojan messages found")
+		fmt.Printf("no Trojan messages found%s\n", note)
 		return
 	}
-	fmt.Printf("%d Trojan message class(es):\n", len(run.Analysis.Trojans))
+	fmt.Printf("%d Trojan message class(es)%s:\n", len(run.Analysis.Trojans), note)
 	for _, tr := range run.Analysis.Trojans {
 		fmt.Printf("  #%d example=%v", tr.Index, tr.Concrete)
 		if len(tgt.FieldNames) > 0 {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|all [-j N] [-target NAME]
+//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|firsttrojan|all [-j N] [-target NAME]
 //
 // -j bounds the worker counts tried by the speedup and campaign experiments
 // (powers of two up to N; default: all CPUs) and drives the sweep and the
@@ -162,5 +162,12 @@ func main() {
 			return "", err
 		}
 		return ic.Render(), nil
+	})
+	run("firsttrojan", func() (string, error) {
+		ft, err := experiments.RunFirstTrojan(*jobs)
+		if err != nil {
+			return "", err
+		}
+		return ft.Render(), nil
 	})
 }

@@ -1,0 +1,60 @@
+package achilles_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"achilles"
+)
+
+// ExampleStart runs a streaming analysis session against a toy server whose
+// validation forgot the upper bound a correct client always enforces. The
+// session streams each Trojan class the moment it is confirmed; Wait returns
+// the completed result.
+func ExampleStart() {
+	server := achilles.MustCompile(`
+var m [2]int;
+func main() {
+	recv(m);
+	if m[0] != 1 { reject(); }
+	accept();
+}`)
+	client := achilles.MustCompile(`
+var m [2]int;
+func main() {
+	var x int = input();
+	assume(x >= 0);
+	assume(x < 10);
+	m[0] = 1;
+	m[1] = x;
+	send(m);
+}`)
+
+	sess, err := achilles.Start(context.Background(), achilles.Target{
+		Name:    "example",
+		Server:  server,
+		Clients: []achilles.ClientProgram{{Name: "c", Unit: client}},
+	}, achilles.WithParallelism(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed := 0
+	for ev := range sess.Events() {
+		if ev.Kind == achilles.EventTrojan {
+			streamed++
+		}
+	}
+	run, err := sess.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := run.Analysis.Trojans[0]
+	fmt.Printf("streamed %d trojan class(es)\n", streamed)
+	fmt.Printf("verified: accept=%v non-client=%v\n", tr.VerifiedAccept, tr.VerifiedNotClient)
+	fmt.Printf("truncated: %v\n", run.Truncated())
+	// Output:
+	// streamed 1 trojan class(es)
+	// verified: accept=true non-client=true
+	// truncated: false
+}

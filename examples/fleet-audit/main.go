@@ -5,9 +5,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 
@@ -22,10 +25,26 @@ func main() {
 	}
 	defer os.RemoveAll(root)
 
+	// The campaign runs under a signal-aware context: Ctrl-C aborts the
+	// in-flight jobs mid-exploration and the bundle written below would be
+	// marked interrupted — refused as a baseline and by the golden gate.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Audit the whole catalog under one global -j budget: cheap targets run
 	// on their own pool workers instead of queueing behind the big ones.
+	// On interruption RunCtx still returns the partial bundle alongside the
+	// ctx error; the demo stops there, because the rest of it (incremental
+	// reuse, the regression gate) is only meaningful for a finished audit.
 	opts := campaign.Options{Jobs: runtime.NumCPU()}
-	bundle, err := campaign.Run(opts)
+	bundle, err := campaign.RunCtx(ctx, opts)
+	if errors.Is(err, context.Canceled) {
+		dir := filepath.Join(root, "interrupted")
+		if werr := bundle.Write(dir); werr != nil {
+			log.Fatal(werr)
+		}
+		log.Fatalf("campaign interrupted — partial bundle (marked interrupted, refused as baseline) written to %s", dir)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,17 @@
 // Quickstart: find the Trojan message in the paper's §2 working example — a
 // toy read/write server whose READ handler forgot the lower bounds check on
-// the address field.
+// the address field — through the v2 Session API: the analysis streams each
+// Trojan class the moment the exploration confirms it, and the whole run is
+// cancellable through the context.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"achilles"
 )
@@ -72,17 +76,40 @@ func main() {
 }`
 
 func main() {
-	run, err := achilles.Run(achilles.Target{
+	// The context bounds the whole analysis: cancel it (or let the deadline
+	// pass) and the session aborts mid-exploration with partial results
+	// marked truncated. The toy target finishes in milliseconds; the
+	// deadline is here to show the shape.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sess, err := achilles.Start(ctx, achilles.Target{
 		Name:       "quickstart-kv",
 		Server:     achilles.MustCompile(serverSrc),
 		Clients:    []achilles.ClientProgram{{Name: "kv-client", Unit: achilles.MustCompile(clientSrc)}},
 		FieldNames: []string{"sender", "request", "address", "value", "crc"},
-	}, achilles.AnalysisOptions{})
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("client path predicates: %d\n", len(run.Clients.Paths))
+	// Trojan classes stream out while the server exploration is still
+	// running — a long-lived service would forward these to its clients
+	// instead of waiting for the full walk.
+	for ev := range sess.Events() {
+		switch ev.Kind {
+		case achilles.EventPhase:
+			fmt.Printf("[phase] %s\n", ev.Phase)
+		case achilles.EventTrojan:
+			fmt.Printf("[found] example [sender request address value crc]: %v\n", ev.Trojan.Concrete)
+		}
+	}
+
+	run, err := sess.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclient path predicates: %d\n", len(run.Clients.Paths))
 	fmt.Printf("Trojan classes found:   %d\n\n", len(run.Analysis.Trojans))
 	for _, tr := range run.Analysis.Trojans {
 		fmt.Printf("Trojan #%d\n", tr.Index)

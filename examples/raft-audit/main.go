@@ -2,18 +2,45 @@
 // follower model, then demonstrate its impact concretely — a forged
 // RequestVote whose log claim outruns its own term steals an election that
 // a legitimate campaign with the same (empty) log loses.
+//
+// The vulnerable follower is probed twice through the Session API: once
+// with WithFirstTrojan — the fast "is it vulnerable at all?" triage mode
+// that stops the whole fan-out at the first confirmed class — and once in
+// full to enumerate every class.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"achilles/internal/core"
+	"achilles"
 	"achilles/internal/protocols/raft"
 )
 
 func main() {
-	run, err := core.Run(raft.NewTarget(), core.AnalysisOptions{})
+	ctx := context.Background()
+
+	// Triage: first confirmed Trojan stops the exploration.
+	t0 := time.Now()
+	triage, err := achilles.Start(ctx, raft.NewTarget(), achilles.WithFirstTrojan())
+	if err != nil {
+		log.Fatal(err)
+	}
+	quick, err := triage.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triage (first-trojan): vulnerable after %v — %d class(es) before the stop landed\n",
+		time.Since(t0).Round(time.Millisecond), len(quick.Analysis.Trojans))
+
+	// Full audit: every class, streamed as found.
+	sess, err := achilles.Start(ctx, raft.NewTarget())
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := sess.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -24,7 +51,11 @@ func main() {
 	}
 
 	// The fixed follower has none.
-	fixed, err := core.Run(raft.NewFixedTarget(), core.AnalysisOptions{})
+	fixedSess, err := achilles.Start(ctx, raft.NewFixedTarget())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed, err := fixedSess.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

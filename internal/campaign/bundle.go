@@ -42,6 +42,12 @@ type Manifest struct {
 	Baseline   string `json:"baseline,omitempty"`
 	CachedJobs int    `json:"cached_jobs,omitempty"`
 
+	// Interrupted marks a campaign that was cancelled (SIGINT, timeout)
+	// before every job ran. Interrupted jobs carry an "interrupted: …"
+	// Error in their entries; the whole bundle is refused as an incremental
+	// baseline and by the golden gate.
+	Interrupted bool `json:"interrupted,omitempty"`
+
 	// Runs has one entry per job, in deterministic (target, mode) order.
 	Runs []RunManifest `json:"runs"`
 }
@@ -173,16 +179,17 @@ func (b *Bundle) Overwrite(dir string) error {
 }
 
 // write is the unconditional persistence path shared by Write and Overwrite.
+// The manifest is written LAST and atomically (temp file + rename into
+// place): a bundle killed mid-write — power loss, a second SIGINT during the
+// interrupted-bundle flush — is left without a manifest.json and is
+// therefore unreadable, instead of presenting a manifest that references
+// report streams which were never flushed. Read validates every referenced
+// stream against the manifest, so "no manifest" (refused outright) and
+// "complete manifest + complete streams" are the only observable states a
+// later -baseline or diff can see.
 func (b *Bundle) write(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("campaign: create bundle dir: %w", err)
-	}
-	mj, err := json.MarshalIndent(&b.Manifest, "", "  ")
-	if err != nil {
-		return fmt.Errorf("campaign: marshal manifest: %w", err)
-	}
-	if err := os.WriteFile(filepath.Join(dir, ManifestName), append(mj, '\n'), 0o644); err != nil {
-		return fmt.Errorf("campaign: write manifest: %w", err)
 	}
 	for _, rm := range b.Manifest.Runs {
 		if rm.Error != "" {
@@ -202,6 +209,41 @@ func (b *Bundle) write(dir string) error {
 		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
 			return fmt.Errorf("campaign: write reports %s: %w", rm.Key(), err)
 		}
+	}
+	mj, err := json.MarshalIndent(&b.Manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal manifest: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(dir, ManifestName), append(mj, '\n'))
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// and an atomic rename, fsyncing the file first so the rename never
+// publishes an empty or partial manifest.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("campaign: write manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: write manifest: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("campaign: sync manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("campaign: write manifest: %w", err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("campaign: write manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("campaign: write manifest: %w", err)
 	}
 	return nil
 }

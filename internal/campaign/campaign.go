@@ -36,6 +36,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -142,6 +143,22 @@ func Plan(opts Options) ([]Job, error) {
 // than aborting the campaign; Run returns an error only when the plan
 // itself is invalid.
 func Run(opts Options) (*Bundle, error) {
+	return RunCtx(context.Background(), opts)
+}
+
+// RunCtx is Run under a context: cancellation (SIGINT, a -timeout deadline)
+// aborts in-flight jobs mid-exploration and skips unstarted ones. The
+// returned bundle is still complete as an artifact — every planned job has
+// a manifest entry — but interrupted jobs carry an Error ("interrupted: …")
+// and no report stream, and the manifest's Interrupted flag is set. An
+// interrupted bundle is refused both as an incremental baseline
+// (reuseFromBaseline) and by the golden gate: a campaign that did not
+// finish must never be mistaken for the fleet's ground truth. RunCtx
+// returns ctx.Err() alongside the bundle so callers can exit distinctly.
+func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	jobs, err := Plan(opts)
 	if err != nil {
 		return nil, err
@@ -200,7 +217,13 @@ func Run(opts Options) (*Bundle, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				runs[i], reports[i] = runJob(jobs[i], perWorker[w], sol)
+				if ctx.Err() != nil {
+					// Unstarted job after the cancel: record it as
+					// interrupted instead of silently dropping the entry.
+					runs[i] = interruptedManifest(jobs[i], ctx.Err())
+					continue
+				}
+				runs[i], reports[i] = runJob(ctx, jobs[i], perWorker[w], sol)
 			}
 		}()
 	}
@@ -211,6 +234,7 @@ func Run(opts Options) (*Bundle, error) {
 	wg.Wait()
 
 	b.Manifest.WallMS = time.Since(start).Milliseconds()
+	b.Manifest.Interrupted = ctx.Err() != nil
 	if opts.Baseline != nil {
 		b.Manifest.Baseline = opts.BaselineDir
 	}
@@ -236,17 +260,31 @@ func Run(opts Options) (*Bundle, error) {
 		"reverified":      int64(st.Reverified),
 		"reverify_failed": int64(st.ReverifyFailed),
 	}
-	return b, nil
+	return b, ctx.Err()
+}
+
+// interruptedManifest records a job the cancellation prevented from running.
+// The Error marking matters beyond display: errored entries carry no report
+// stream and are never reused as a baseline.
+func interruptedManifest(j Job, cause error) RunManifest {
+	return RunManifest{
+		Target:     j.Target,
+		Mode:       j.Mode.String(),
+		ReportFile: reportFileName(j),
+		Error:      "interrupted: " + cause.Error(),
+	}
 }
 
 // reuseFromBaseline decides whether a job may skip execution: the baseline
-// must hold a manifest entry for the same job key that succeeded, was not
-// truncated, carries a fingerprint, matches the job's current fingerprint,
-// and has a report stream consistent with its class count. The returned
-// manifest entry is the baseline's, marked Cached with WallMS zeroed (no
-// work happened in this run).
+// must come from a campaign that ran to completion (an interrupted bundle is
+// refused wholesale — it exists to show what a cut-short run saw, not to
+// seed future runs), and must hold a manifest entry for the same job key
+// that succeeded, was not truncated, carries a fingerprint, matches the
+// job's current fingerprint, and has a report stream consistent with its
+// class count. The returned manifest entry is the baseline's, marked Cached
+// with WallMS zeroed (no work happened in this run).
 func reuseFromBaseline(base *Bundle, j Job, fp string) (RunManifest, []Report, bool) {
-	if base == nil || fp == "" {
+	if base == nil || base.Manifest.Interrupted || fp == "" {
 		return RunManifest{}, nil, false
 	}
 	for _, rm := range base.Manifest.Runs {
@@ -294,8 +332,10 @@ func splitBudget(budget, workers int) []int {
 
 // runJob executes one target×mode analysis with the shared solver and the
 // given intra-job parallelism, and converts the outcome into its manifest
-// entry and report stream.
-func runJob(j Job, parallelism int, sol *solver.Solver) (RunManifest, []Report) {
+// entry and report stream. A job cancelled mid-exploration is recorded as
+// interrupted: its partial class set is discarded — a bundle must never
+// present a cut-short job as that target's result.
+func runJob(ctx context.Context, j Job, parallelism int, sol *solver.Solver) (RunManifest, []Report) {
 	rm := RunManifest{
 		Target:     j.Target,
 		Mode:       j.Mode.String(),
@@ -312,8 +352,12 @@ func runJob(j Job, parallelism int, sol *solver.Solver) (RunManifest, []Report) 
 	aopts.Mode = j.Mode
 	aopts.Parallelism = parallelism
 	aopts.Solver = sol
-	run, err := core.Run(tgt, aopts)
+	run, err := core.RunCtx(ctx, tgt, aopts)
 	rm.WallMS = time.Since(t0).Milliseconds()
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		rm.Error = "interrupted: " + ctxErr.Error()
+		return rm, nil
+	}
 	if err != nil {
 		rm.Error = err.Error()
 		return rm, nil

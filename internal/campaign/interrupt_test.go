@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	_ "achilles/internal/protocols"
+)
+
+// TestRunCtxPreCancelled: a cancelled context still yields a complete
+// artifact — every planned job has an entry, all marked interrupted, the
+// manifest flagged — plus the ctx error for the caller's exit code.
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b, err := RunCtx(ctx, Options{Targets: []string{"kv", "fsp"}, Jobs: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if b == nil {
+		t.Fatal("no bundle from an interrupted campaign")
+	}
+	if !b.Manifest.Interrupted {
+		t.Fatal("manifest not marked Interrupted")
+	}
+	if len(b.Manifest.Runs) != 2 {
+		t.Fatalf("manifest has %d entries, want 2", len(b.Manifest.Runs))
+	}
+	for _, rm := range b.Manifest.Runs {
+		if !strings.HasPrefix(rm.Error, "interrupted: ") {
+			t.Fatalf("entry %s not marked interrupted: %+v", rm.Key(), rm)
+		}
+	}
+}
+
+// TestRunCtxDeadlineMidCampaign: a deadline that strikes while jobs run
+// leaves an interrupted bundle that round-trips through Write/Read.
+func TestRunCtxDeadlineMidCampaign(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	b, err := RunCtx(ctx, Options{Jobs: 2})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if !b.Manifest.Interrupted {
+		t.Fatal("manifest not marked Interrupted")
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := b.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(dir)
+	if err != nil {
+		t.Fatalf("interrupted bundle failed to round-trip: %v", err)
+	}
+	if !loaded.Manifest.Interrupted {
+		t.Fatal("Interrupted flag lost in the round trip")
+	}
+}
+
+// TestInterruptedBaselineRefused: no job may reuse reports from an
+// interrupted bundle, even when fingerprints match a clean-looking entry.
+func TestInterruptedBaselineRefused(t *testing.T) {
+	clean, err := Run(Options{Targets: []string{"kv"}, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge the worst case: a bundle whose entries all look clean but whose
+	// campaign did not finish.
+	interrupted := *clean
+	interrupted.Manifest.Interrupted = true
+	again, err := Run(Options{Targets: []string{"kv"}, Jobs: 2, Baseline: &interrupted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Manifest.CachedJobs != 0 {
+		t.Fatalf("%d job(s) reused from an interrupted baseline", again.Manifest.CachedJobs)
+	}
+	// Sanity: the same bundle without the flag IS reusable.
+	warm, err := Run(Options{Targets: []string{"kv"}, Jobs: 2, Baseline: clean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Manifest.CachedJobs == 0 {
+		t.Fatal("clean baseline unexpectedly refused (reuse machinery broken?)")
+	}
+}
+
+// TestManifestWrittenAtomically: the bundle directory never holds a manifest
+// temp file after a write, and the manifest is valid JSON written last — a
+// reader can only ever observe "no manifest" or a complete one.
+func TestManifestWrittenAtomically(t *testing.T) {
+	b, err := Run(Options{Targets: []string{"kv"}, Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := b.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawManifest := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left in bundle dir", e.Name())
+		}
+		if e.Name() == ManifestName {
+			sawManifest = true
+		}
+	}
+	if !sawManifest {
+		t.Fatal("manifest missing after Write")
+	}
+	if _, err := Read(dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"achilles/internal/expr"
@@ -66,6 +68,24 @@ type AnalysisOptions struct {
 	// Exec.MaxStates explores a scheduling-dependent subset under
 	// parallelism — see symexec.Options.Parallelism.
 	Parallelism int
+
+	// Observer streams phase transitions, Trojan reports (as they are
+	// confirmed) and periodic progress to the caller; see Observer. The
+	// zero value observes nothing.
+	Observer Observer
+
+	// FirstTrojan stops the entire fan-out — engine frontier, in-flight
+	// solver queries, concurrent Trojan checks — as soon as the first
+	// Trojan report is confirmed. The result then carries at least one
+	// report (more can slip in from concurrent workers before the stop
+	// lands) and is marked Truncated, because the exploration did not
+	// finish. A real speedup on deep targets where the full walk is
+	// expensive but the first vulnerability surfaces early.
+	FirstTrojan bool
+
+	// ProgressInterval paces Observer.OnProgress during the server phase;
+	// zero means 200ms. Ignored when OnProgress is nil.
+	ProgressInterval time.Duration
 }
 
 // TrojanReport describes one discovered Trojan message class: an accepting
@@ -161,6 +181,21 @@ type analysis struct {
 	res    *Result
 	start  time.Time
 
+	// runCtx is the exploration's working context: the caller's ctx plus
+	// the internal first-trojan stop. Every solver query and the engine
+	// frontier run under it, so one cancel aborts the whole fan-out.
+	runCtx context.Context
+	stop   context.CancelFunc
+
+	// observing gates the live-counter and streamed-report bookkeeping so
+	// observer-less runs (campaign jobs, v1 Run, benchmarks) pay nothing
+	// for it on the hot branch path.
+	observing bool
+	// Live counters for progress reporting (atomic: hooks run concurrently).
+	branches atomic.Int64 // branch constraints processed
+	maxDepth atomic.Int64 // deepest branch decision seen
+	found    atomic.Int64 // Trojan reports confirmed
+
 	mu      sync.Mutex
 	pending []pendingReport
 }
@@ -168,16 +203,49 @@ type analysis struct {
 // AnalyzeServer runs the Achilles server phase against a compiled server
 // model and a preprocessed client predicate.
 func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions) (*Result, error) {
+	return AnalyzeServerCtx(context.Background(), server, pc, opts)
+}
+
+// AnalyzeServerCtx is AnalyzeServer under a context. Cancellation (or a
+// deadline) aborts the exploration cleanly mid-frontier: the engine stops
+// forking, in-flight solver queries return Unknown, reports whose
+// verification the cancellation degraded are dropped rather than emitted,
+// and the partial result — marked Truncated — is returned together with
+// ctx.Err(). An opts.FirstTrojan early exit uses the same stop path but is
+// not an error: the result is Truncated and err is nil.
+func AnalyzeServerCtx(ctx context.Context, server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Solver == nil {
 		opts.Solver = solver.Default()
 	}
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
 	a := &analysis{
-		server: server,
-		pc:     pc,
-		opts:   opts,
-		sol:    opts.Solver,
-		res:    &Result{},
-		start:  time.Now(),
+		server:    server,
+		pc:        pc,
+		opts:      opts,
+		sol:       opts.Solver,
+		res:       &Result{},
+		start:     time.Now(),
+		runCtx:    runCtx,
+		stop:      stop,
+		observing: opts.Observer.OnProgress != nil || opts.Observer.OnTrojan != nil,
+	}
+	if opts.Observer.OnProgress != nil {
+		progDone := make(chan struct{})
+		progExited := make(chan struct{})
+		go func() {
+			defer close(progExited)
+			a.progressLoop(progDone)
+		}()
+		// Synchronous shutdown: no OnProgress callback may outlive this
+		// function — callers (sessions) close their event sinks right after.
+		defer func() {
+			close(progDone)
+			<-progExited
+		}()
 	}
 	execOpts := opts.Exec
 	execOpts.Solver = a.sol
@@ -187,7 +255,7 @@ func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions)
 	switch opts.Mode {
 	case ModeAPosteriori:
 		// Phase A: plain symbolic execution (classic S2E run).
-		engRes, err := symexec.Run(server, execOpts)
+		engRes, err := symexec.RunCtx(runCtx, server, execOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -196,6 +264,9 @@ func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions)
 		// fanned out over the analysis workers (each path is independent).
 		accepted := engRes.ByStatus(symexec.StatusAccepted)
 		parallelFor(opts.Parallelism, len(accepted), func(i int) {
+			if runCtx.Err() != nil {
+				return
+			}
 			st := accepted[i]
 			a.mu.Lock()
 			a.res.AcceptingStates++
@@ -203,22 +274,77 @@ func AnalyzeServer(server *lang.Unit, pc *ClientPredicate, opts AnalysisOptions)
 			live := a.liveFromScratch(st.Path)
 			a.reportIfTrojan(st, live)
 		})
+		// A first-trojan stop (or a cancel) during phase B leaves accepting
+		// paths undifferenced: the class set is partial even though the
+		// engine walk itself completed.
+		if runCtx.Err() != nil {
+			a.res.EngineStats.Truncated = true
+		}
 	default:
 		execOpts.Hooks = symexec.Hooks{
 			OnBranch: a.onBranch,
 			OnAccept: a.onAccept,
 		}
-		engRes, err := symexec.Run(server, execOpts)
+		engRes, err := symexec.RunCtx(runCtx, server, execOpts)
 		if err != nil {
 			return nil, err
 		}
 		a.res.EngineStats = engRes.Stats
 		a.res.PrunedStates = len(engRes.ByStatus(symexec.StatusPruned))
+		// A stop that lands as the engine drains its last state can leave the
+		// walk looking complete; the result of a stopped run is partial by
+		// contract (FirstTrojan in particular promises Truncated), so force
+		// the flag whenever the working context fired.
+		if runCtx.Err() != nil {
+			a.res.EngineStats.Truncated = true
+		}
 	}
 	a.finalize()
 	a.res.Duration = time.Since(a.start)
 	a.res.SolverStats = a.sol.Stats()
-	return a.res, nil
+	if opts.Observer.OnProgress != nil {
+		a.emitProgress() // final snapshot with the completed counters
+	}
+	// Only the caller's cancellation is an error; the internal first-trojan
+	// stop is a successful early exit (the Truncated flag still records that
+	// the exploration was cut short).
+	return a.res, ctx.Err()
+}
+
+// progressLoop emits periodic Progress snapshots until the analysis ends.
+func (a *analysis) progressLoop(done <-chan struct{}) {
+	interval := a.opts.ProgressInterval
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			a.emitProgress()
+		}
+	}
+}
+
+// emitProgress snapshots the live counters into one Progress callback.
+func (a *analysis) emitProgress() {
+	st := a.sol.Stats()
+	rate := 0.0
+	if lookups := st.CacheHits + st.CacheMisses; lookups > 0 {
+		rate = float64(st.CacheHits) / float64(lookups)
+	}
+	a.opts.Observer.OnProgress(Progress{
+		Phase:          PhaseServer,
+		Elapsed:        time.Since(a.start),
+		StatesExplored: int(a.branches.Load()),
+		FrontierDepth:  int(a.maxDepth.Load()),
+		Trojans:        int(a.found.Load()),
+		SolverQueries:  st.Queries,
+		CacheHitRate:   rate,
+	})
 }
 
 // finalize turns the pending reports into the public report list. Reports
@@ -275,7 +401,7 @@ func (a *analysis) triggerable(serverPath []*expr.Expr, i int) bool {
 	q := make([]*expr.Expr, 0, len(serverPath)+len(cp.bind))
 	q = append(q, serverPath...)
 	q = append(q, cp.bind...)
-	res, _ := a.sol.Check(q)
+	res, _ := a.sol.CheckCtx(a.runCtx, q)
 	return res != solver.Unsat
 }
 
@@ -322,6 +448,16 @@ func (a *analysis) singleFieldOf(cond *expr.Expr) int {
 // happens on the caller's state, and the shared counters and trace are
 // updated under the analysis lock in one batch at the end.
 func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
+	if a.observing {
+		a.branches.Add(1)
+		depth := int64(len(st.Path))
+		for {
+			cur := a.maxDepth.Load()
+			if depth <= cur || a.maxDepth.CompareAndSwap(cur, depth) {
+				break
+			}
+		}
+	}
 	d := a.ensureData(st)
 	// differentFrom bulk drop (§3.3): when the new constraint touches a
 	// single independent field f and pathC_i was already dropped by it,
@@ -398,7 +534,7 @@ func (a *analysis) trojanPossible(serverPath []*expr.Expr, live []int) bool {
 		}
 		q = append(q, neg)
 	}
-	res, _ := a.sol.Check(q)
+	res, _ := a.sol.CheckCtx(a.runCtx, q)
 	return res != solver.Unsat
 }
 
@@ -431,8 +567,8 @@ func (a *analysis) filtered() {
 
 // reportIfTrojan solves the final Trojan query for an accepting state and,
 // when satisfiable, records a pending report with a verified concrete
-// example. Index and ServerStateID assignment is deferred to finalize so
-// concurrent discoveries merge deterministically.
+// example, streaming it to the observer. Index and ServerStateID assignment
+// is deferred to finalize so concurrent discoveries merge deterministically.
 func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 	q := make([]*expr.Expr, 0, len(st.Path)+len(live))
 	q = append(q, st.Path...)
@@ -450,7 +586,7 @@ func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 		q = append(q, neg)
 		witness = expr.And(witness, neg)
 	}
-	res, model := a.sol.Check(q)
+	res, model := a.sol.CheckCtx(a.runCtx, q)
 	if res != solver.Sat {
 		a.filtered()
 		return
@@ -475,9 +611,41 @@ func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 		a.filtered()
 		return
 	}
+	if a.runCtx.Err() != nil {
+		// Cancellation degrades the verification queries above to Unknown,
+		// which verifyNotClient treats as "no client found" — sound in a
+		// healthy run, unsound mid-abort. A report finalised under a
+		// cancelled context is therefore dropped: every report in a partial
+		// result was fully verified before the stop landed.
+		a.filtered()
+		return
+	}
 	a.mu.Lock()
 	a.pending = append(a.pending, rep)
+	discovery := len(a.pending) - 1
 	a.mu.Unlock()
+	if a.observing {
+		a.found.Add(1)
+		a.opts.Observer.trojan(TrojanReport{
+			Index:             discovery,
+			ServerStateID:     rep.st.ID,
+			PathLen:           len(rep.st.Path),
+			ServerPath:        append([]*expr.Expr{}, rep.st.Path...),
+			Witness:           rep.witness,
+			Concrete:          rep.concrete,
+			StateEnv:          rep.stateEnv,
+			LiveClients:       append([]int{}, rep.live...),
+			Elapsed:           rep.elapsed,
+			VerifiedAccept:    rep.verifiedAccept,
+			VerifiedNotClient: rep.verifiedNotClient,
+		})
+	}
+	if a.opts.FirstTrojan {
+		// Confirmed Trojan in hand: tear down the whole fan-out. Concurrent
+		// workers may append a few more fully-verified reports before the
+		// stop reaches them; anything after the stop is dropped above.
+		a.stop()
+	}
 }
 
 // concreteMessage materialises the message fields from a model (absent
@@ -517,7 +685,7 @@ func (a *analysis) verifyNotClient(msg []int64, stateEnv expr.Env) bool {
 		q := make([]*expr.Expr, 0, len(cp.bind)+len(eqs))
 		q = append(q, cp.bind...)
 		q = append(q, eqs...)
-		if res, _ := a.sol.Check(q); res == solver.Sat {
+		if res, _ := a.sol.CheckCtx(a.runCtx, q); res == solver.Sat {
 			return false
 		}
 	}

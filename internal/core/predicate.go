@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -194,6 +195,17 @@ type ClientProgram struct {
 // all sent messages as client path predicates, deduplicates them and runs
 // the §3.3 preprocessing.
 func ExtractClientPredicate(clients []ClientProgram, opts ExtractOptions) (*ClientPredicate, error) {
+	return ExtractClientPredicateCtx(context.Background(), clients, opts)
+}
+
+// ExtractClientPredicateCtx is ExtractClientPredicate under a context. A
+// cancelled extraction returns (nil, ctx.Err()): a partially-captured client
+// predicate under-approximates PC in a way no downstream consumer can
+// compensate for, so there is no useful partial result to hand back.
+func ExtractClientPredicateCtx(ctx context.Context, clients []ClientProgram, opts ExtractOptions) (*ClientPredicate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pc := &ClientPredicate{
 		FieldNames: opts.FieldNames,
 		MsgPrefix:  "m",
@@ -228,8 +240,11 @@ func ExtractClientPredicate(clients []ClientProgram, opts ExtractOptions) (*Clie
 		}
 	}
 	parallelFor(slots, len(clients), func(i int) {
-		results[i], errs[i] = symexec.Run(clients[i].Unit, execOpts)
+		results[i], errs[i] = symexec.RunCtx(ctx, clients[i].Unit, execOpts)
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	seen := map[string]bool{}
 	raw := 0
 	for ci, cl := range clients {
@@ -279,7 +294,10 @@ func ExtractClientPredicate(clients []ClientProgram, opts ExtractOptions) (*Clie
 		}
 	}
 	if !opts.SkipPreprocess {
-		pc.PreprocessParallel(opts.Solver, opts.Parallelism)
+		pc.PreprocessParallelCtx(ctx, opts.Solver, opts.Parallelism)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	return pc, nil
 }
@@ -345,12 +363,29 @@ func (pc *ClientPredicate) Preprocess(s *solver.Solver) {
 // already collapses the quadratic query load, and the remaining solver
 // calls hit the verdict cache.
 func (pc *ClientPredicate) PreprocessParallel(s *solver.Solver, workers int) {
+	pc.PreprocessParallelCtx(context.Background(), s, workers)
+}
+
+// PreprocessParallelCtx is PreprocessParallel under a context: cancellation
+// skips the remaining per-path work and leaves the rest of the differentFrom
+// matrix at TriUnknown (the conservative don't-know). A cancelled
+// preprocessing run leaves the predicate HALF-BUILT — missing negation
+// disjuncts read as "abandoned" and silently suppress Trojan classes — so
+// callers must check ctx.Err() afterwards and refuse to analyse with it
+// (RunCtx and ExtractClientPredicateCtx both do).
+func (pc *ClientPredicate) PreprocessParallelCtx(ctx context.Context, s *solver.Solver, workers int) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stats := make([]PreprocessStats, len(pc.Paths))
 	parallelFor(workers, len(pc.Paths), func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		cp := pc.Paths[i]
 		pc.buildBind(cp)
 		pc.classifyFields(cp)
-		pc.buildNegation(cp, s, &stats[i])
+		pc.buildNegation(ctx, cp, s, &stats[i])
 		pc.buildBindKey(cp)
 	})
 	for _, st := range stats {
@@ -358,7 +393,7 @@ func (pc *ClientPredicate) PreprocessParallel(s *solver.Solver, workers int) {
 		pc.PreprocessStats.OverlapDropped += st.OverlapDropped
 		pc.PreprocessStats.SolverQueries += st.SolverQueries
 	}
-	pc.buildDifferentFrom(s)
+	pc.buildDifferentFrom(ctx, s)
 }
 
 // buildBindKey computes the canonical message-relevant signature. The
@@ -534,7 +569,7 @@ func (pc *ClientPredicate) classifyFields(cp *ClientPath) {
 // the §4.1 overlap check: any disjunct sharing a solution with the original
 // path predicate is discarded, keeping the negation a strict
 // under-approximation.
-func (pc *ClientPredicate) buildNegation(cp *ClientPath, s *solver.Solver, stats *PreprocessStats) {
+func (pc *ClientPredicate) buildNegation(ctx context.Context, cp *ClientPath, s *solver.Solver, stats *PreprocessStats) {
 	cp.negDisjuncts = make([]*expr.Expr, len(cp.Fields))
 	for f, e := range cp.Fields {
 		if pc.masked[f] {
@@ -581,7 +616,7 @@ func (pc *ClientPredicate) buildNegation(cp *ClientPath, s *solver.Solver, stats
 			!(cp.fieldKind[f] == FieldVar && cp.simpleField[f]) {
 			stats.SolverQueries++
 			q := append(append([]*expr.Expr{}, cp.bind...), d)
-			if res, _ := s.Check(q); res != solver.Unsat {
+			if res, _ := s.CheckCtx(ctx, q); res != solver.Unsat {
 				stats.OverlapDropped++
 				continue
 			}
@@ -626,7 +661,7 @@ func (cp *ClientPath) fieldValueMember(f int, v *expr.Expr) *expr.Expr {
 // sets (e.g. every flag combination of the same utility), queries are
 // memoised by the canonical member-predicate pair, which collapses the
 // O(n²·fields) solver work to the number of distinct value-set pairs.
-func (pc *ClientPredicate) buildDifferentFrom(s *solver.Solver) {
+func (pc *ClientPredicate) buildDifferentFrom(ctx context.Context, s *solver.Solver) {
 	n := len(pc.Paths)
 	pc.differentFrom = make([][][]Tri, n)
 	for i := range pc.differentFrom {
@@ -653,6 +688,11 @@ func (pc *ClientPredicate) buildDifferentFrom(s *solver.Solver) {
 	}
 	memo := map[[2]string]Tri{}
 	for i := range pc.Paths {
+		if ctx.Err() != nil {
+			// Remaining entries stay TriUnknown — the conservative verdict
+			// that disables the bulk drop but never flips a result.
+			return
+		}
 		for j := range pc.Paths {
 			if i == j {
 				for f := 0; f < pc.NumFields; f++ {
@@ -673,7 +713,7 @@ func (pc *ClientPredicate) buildDifferentFrom(s *solver.Solver) {
 					// ∃v: member_i(v) ∧ ¬member_j(v)?
 					q := []*expr.Expr{members[i][f], expr.Not(members[j][f])}
 					pc.PreprocessStats.SolverQueries++
-					switch res, _ := s.Check(q); res {
+					switch res, _ := s.CheckCtx(ctx, q); res {
 					case solver.Sat:
 						tri = TriYes
 					case solver.Unsat:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"achilles/internal/lang"
@@ -54,13 +55,33 @@ func (r *RunResult) Truncated() bool {
 // every phase: concurrent client extraction, parallel predicate
 // preprocessing, and the worker-pool server exploration.
 func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
+	return RunCtx(context.Background(), t, opts)
+}
+
+// RunCtx is Run under a context; cancellation (or a deadline) aborts
+// whichever phase is in flight. The error contract follows the phase the
+// cancellation struck:
+//
+//   - during client extraction or preprocessing there is no usable result
+//     yet — RunCtx returns (nil, ctx.Err());
+//   - during the server phase the partial analysis is real — RunCtx returns
+//     the RunResult (Truncated() reports true) together with ctx.Err(), so
+//     callers can both show what was found and know the run was cut short.
+//
+// An opts.FirstTrojan early exit is not a cancellation: the result is
+// Truncated but err is nil.
+func RunCtx(ctx context.Context, t Target, opts AnalysisOptions) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.Solver == nil {
 		opts.Solver = solver.Default()
 	}
 	out := &RunResult{}
 
+	opts.Observer.phase(PhaseExtract)
 	t0 := time.Now()
-	pc, err := ExtractClientPredicate(t.Clients, ExtractOptions{
+	pc, err := ExtractClientPredicateCtx(ctx, t.Clients, ExtractOptions{
 		Exec:           t.ClientExec,
 		FieldNames:     t.FieldNames,
 		Mask:           t.Mask,
@@ -74,18 +95,25 @@ func Run(t Target, opts AnalysisOptions) (*RunResult, error) {
 	}
 	out.ClientExtractTime = time.Since(t0)
 
+	opts.Observer.phase(PhasePreprocess)
 	t1 := time.Now()
-	pc.PreprocessParallel(opts.Solver, opts.Parallelism)
+	pc.PreprocessParallelCtx(ctx, opts.Solver, opts.Parallelism)
 	out.PreprocessTime = time.Since(t1)
 	out.Clients = pc
+	if err := ctx.Err(); err != nil {
+		// A half-preprocessed predicate silently suppresses Trojans (missing
+		// negation disjuncts read as "abandoned"); never analyse with one.
+		return nil, err
+	}
 
+	opts.Observer.phase(PhaseServer)
 	t2 := time.Now()
 	opts.Exec = t.ServerExec
-	res, err := AnalyzeServer(t.Server, pc, opts)
-	if err != nil {
+	res, err := AnalyzeServerCtx(ctx, t.Server, pc, opts)
+	if res == nil {
 		return nil, err
 	}
 	out.ServerTime = time.Since(t2)
 	out.Analysis = res
-	return out, nil
+	return out, err
 }

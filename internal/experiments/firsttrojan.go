@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"achilles"
+	"achilles/internal/core"
+	"achilles/internal/protocols/fsp"
+	"achilles/internal/protocols/registry"
+)
+
+// FirstTrojanRow compares the full exploration of one vulnerable target
+// against the WithFirstTrojan early exit.
+type FirstTrojanRow struct {
+	Target      string
+	FullWall    time.Duration // complete analysis (all classes)
+	FullClasses int
+	FirstWall   time.Duration // session with WithFirstTrojan
+	FirstFound  int           // classes the early exit still reported (>= 1)
+	Speedup     float64       // FullWall / FirstWall
+}
+
+// FirstTrojan is the API v2 early-exit study: how much wall clock the
+// first-trojan mode saves when the question is "is this target vulnerable at
+// all?" rather than "what is the complete class set?". The win scales with
+// how much fork tree remains beyond the first confirmed class, so deep
+// targets (the rich FSP corpus) gain the most.
+type FirstTrojan struct {
+	Rows []FirstTrojanRow
+	Jobs int
+}
+
+// RunFirstTrojan measures every vulnerable registry target plus the rich
+// FSP corpus through the public Session API — the same code path embedders
+// use — at the given parallelism.
+func RunFirstTrojan(jobs int) (*FirstTrojan, error) {
+	out := &FirstTrojan{Jobs: jobs}
+	type workload struct {
+		name string
+		tgt  core.Target
+		opts core.AnalysisOptions
+	}
+	var loads []workload
+	for _, d := range registry.All() {
+		if !d.ExpectTrojans {
+			continue
+		}
+		loads = append(loads, workload{name: d.Name, tgt: d.Target(), opts: d.Analysis})
+	}
+	// The deep workload: 256 client path predicates over the full FSP
+	// server, where the complete walk dwarfs the time to the first class.
+	loads = append(loads, workload{name: "fsp-rich", tgt: fsp.NewRichTarget(false)})
+
+	for _, w := range loads {
+		row := FirstTrojanRow{Target: w.name}
+		full, err := runSession(w.tgt, w.opts, jobs, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: first-trojan %s (full): %w", w.name, err)
+		}
+		row.FullWall = full.Total()
+		row.FullClasses = len(full.Analysis.Trojans)
+		if row.FullClasses == 0 {
+			return nil, fmt.Errorf("experiments: first-trojan %s: no classes to find", w.name)
+		}
+		first, err := runSession(w.tgt, w.opts, jobs, true)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: first-trojan %s (early exit): %w", w.name, err)
+		}
+		row.FirstWall = first.Total()
+		row.FirstFound = len(first.Analysis.Trojans)
+		if row.FirstFound == 0 {
+			return nil, fmt.Errorf("experiments: first-trojan %s: early exit found nothing", w.name)
+		}
+		if !first.Truncated() {
+			return nil, fmt.Errorf("experiments: first-trojan %s: early exit not marked truncated", w.name)
+		}
+		if row.FirstWall > 0 {
+			row.Speedup = float64(row.FullWall) / float64(row.FirstWall)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// runSession drives one analysis through achilles.Start/Wait — the v2 API.
+func runSession(tgt core.Target, base core.AnalysisOptions, jobs int, firstTrojan bool) (*core.RunResult, error) {
+	opts := []achilles.Option{
+		achilles.WithAnalysisOptions(base),
+		achilles.WithParallelism(jobs),
+	}
+	if firstTrojan {
+		opts = append(opts, achilles.WithFirstTrojan())
+	}
+	sess, err := achilles.Start(context.Background(), tgt, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Wait()
+}
+
+// Render prints the early-exit table.
+func (ft *FirstTrojan) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "First-trojan early exit (-j %d): Session(WithFirstTrojan) vs full walk\n", ft.Jobs)
+	fmt.Fprintf(&b, "  %-16s %12s %8s %12s %8s %8s\n", "target", "full", "classes", "first", "found", "speedup")
+	for _, r := range ft.Rows {
+		fmt.Fprintf(&b, "  %-16s %12s %8d %12s %8d %7.2fx\n",
+			r.Target, r.FullWall.Round(time.Millisecond), r.FullClasses,
+			r.FirstWall.Round(time.Millisecond), r.FirstFound, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"achilles/internal/expr"
+)
+
+// hardQuery builds a conjunction the solver can only decide by enumerating a
+// large cross product: k variables over a wide domain tied together by a
+// non-linear atom that blocks propagation from finishing the job.
+func hardQuery(k int) []*expr.Expr {
+	var cs []*expr.Expr
+	prod := expr.Const(1)
+	for i := 0; i < k; i++ {
+		v := expr.Var("v" + string(rune('a'+i)))
+		cs = append(cs, expr.Le(expr.Const(0), v), expr.Le(v, expr.Const(1000)))
+		prod = expr.Mul(prod, v)
+	}
+	// Unsatisfiable in the boxed domain, but the product keeps the atoms
+	// non-linear so only search can refute it.
+	cs = append(cs, expr.Eq(prod, expr.Const(-7)))
+	return cs
+}
+
+// TestCheckCtxCancelledAnswersUnknown: a context cancelled before the call
+// aborts immediately with Unknown instead of burning the decision budget.
+func TestCheckCtxCancelledAnswersUnknown(t *testing.T) {
+	s := New(Options{DisableCache: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _ := s.CheckCtx(ctx, hardQuery(3))
+	if res != Unknown {
+		t.Fatalf("cancelled CheckCtx = %v, want Unknown", res)
+	}
+	// The abort must be cheap: nowhere near the full decision budget.
+	if d := s.Stats().Decisions; d > 1000 {
+		t.Fatalf("cancelled query still tried %d decisions", d)
+	}
+}
+
+// TestCheckCtxCancelledNotCached: an Unknown produced by cancellation must
+// not be memoised — the same query on a live context gets a real verdict.
+func TestCheckCtxCancelledNotCached(t *testing.T) {
+	s := New(Options{})
+	q := []*expr.Expr{
+		expr.Eq(expr.Var("x"), expr.Const(4)),
+		expr.Le(expr.Var("x"), expr.Const(10)),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, _ := s.CheckCtx(ctx, q); res != Unknown {
+		t.Fatalf("cancelled CheckCtx = %v, want Unknown", res)
+	}
+	res, model := s.Check(q)
+	if res != Sat {
+		t.Fatalf("fresh Check after cancelled one = %v, want Sat", res)
+	}
+	if model["x"] != 4 {
+		t.Fatalf("model = %v, want x=4", model)
+	}
+}
+
+// TestCheckCtxLiveContextMatchesCheck: with a never-cancelled context the
+// verdicts are identical to plain Check — cancellation support must not
+// perturb results.
+func TestCheckCtxLiveContextMatchesCheck(t *testing.T) {
+	a, b := New(Options{}), New(Options{})
+	queries := [][]*expr.Expr{
+		{expr.Eq(expr.Var("x"), expr.Const(1))},
+		{expr.Eq(expr.Var("x"), expr.Const(1)), expr.Ne(expr.Var("x"), expr.Const(1))},
+		hardQuery(2),
+	}
+	for i, q := range queries {
+		r1, _ := a.Check(q)
+		r2, _ := b.CheckCtx(context.Background(), q)
+		if r1 != r2 {
+			t.Fatalf("query %d: Check=%v CheckCtx=%v", i, r1, r2)
+		}
+	}
+}

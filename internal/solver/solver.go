@@ -34,6 +34,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -205,6 +206,19 @@ const satLimit = int64(1) << 62
 // re-solved and compared. A loaded verdict the live check contradicts is
 // replaced and counted in Stats.ReverifyFailed.
 func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
+	return s.CheckCtx(context.Background(), constraints)
+}
+
+// CheckCtx is Check with cancellation: when ctx is cancelled (or its
+// deadline passes) mid-search, the query aborts and answers Unknown —
+// callers already treat Unknown conservatively, so an aborted query can
+// never flip a verdict, only withhold one. A verdict produced under a
+// cancelled context is NOT memoised: caching it would poison the verdict
+// cache with budget-dependent Unknowns that outlive the cancellation.
+func (s *Solver) CheckCtx(ctx context.Context, constraints []*expr.Expr) (Result, expr.Env) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.stats.queries.Add(1)
 	var key string
 	var loaded *verdict
@@ -219,7 +233,13 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
 		}
 		s.stats.cacheMisses.Add(1)
 	}
-	res, model := s.check(constraints)
+	res, model := s.check(ctx, constraints)
+	if ctx.Err() != nil && res == Unknown {
+		// Aborted mid-search: the Unknown reflects the cancellation, not the
+		// query. Report it, but neither cache it nor let it indict a loaded
+		// verdict under re-verification.
+		return res, model
+	}
 	if loaded != nil {
 		// A Sat entry only reaches the re-solve path when its stored model
 		// failed evaluation — that is a failure even if the fresh verdict is
@@ -270,7 +290,7 @@ func (s *Solver) trustLoaded(key string, ent verdict, constraints []*expr.Expr) 
 }
 
 // check solves one query without consulting the cache.
-func (s *Solver) check(constraints []*expr.Expr) (Result, expr.Env) {
+func (s *Solver) check(ctx context.Context, constraints []*expr.Expr) (Result, expr.Env) {
 	var conj []*expr.Expr
 	var disj []*expr.Expr
 	for _, c := range constraints {
@@ -279,7 +299,7 @@ func (s *Solver) check(constraints []*expr.Expr) (Result, expr.Env) {
 		}
 	}
 	budget := s.opts.MaxDecisions
-	res, model := s.solve(conj, disj, &budget)
+	res, model := s.solve(ctx, conj, disj, &budget)
 	if res == Unknown {
 		s.stats.unknowns.Add(1)
 	}
@@ -319,10 +339,14 @@ func disjuncts(e *expr.Expr, out *[]*expr.Expr) {
 }
 
 // solve handles DPLL splitting over the disjunctions, then delegates pure
-// conjunctions to solveConj.
-func (s *Solver) solve(conj, disj []*expr.Expr, budget *int) (Result, expr.Env) {
+// conjunctions to solveConj. A cancelled ctx aborts the split tree with
+// Unknown at the next node boundary.
+func (s *Solver) solve(ctx context.Context, conj, disj []*expr.Expr, budget *int) (Result, expr.Env) {
+	if ctx.Err() != nil {
+		return Unknown, nil
+	}
 	if len(disj) == 0 {
-		return s.solveConj(conj, budget)
+		return s.solveConj(ctx, conj, budget)
 	}
 	// Split-node pruning: refute the partial conjunction by propagation
 	// before splitting further. Without this, a contradicted disjunct picked
@@ -354,7 +378,7 @@ func (s *Solver) solve(conj, disj []*expr.Expr, budget *int) (Result, expr.Env) 
 		if !flatten(p, &subConj, &subDisj) {
 			continue
 		}
-		res, model := s.solve(subConj, subDisj, budget)
+		res, model := s.solve(ctx, subConj, subDisj, budget)
 		switch res {
 		case Sat:
 			return Sat, model
@@ -486,7 +510,7 @@ func (s *Solver) feasibleConj(atoms []*expr.Expr) bool {
 }
 
 // solveConj decides a pure conjunction of atoms.
-func (s *Solver) solveConj(atoms []*expr.Expr, budget *int) (Result, expr.Env) {
+func (s *Solver) solveConj(ctx context.Context, atoms []*expr.Expr, budget *int) (Result, expr.Env) {
 	cs := newConjState(atoms)
 	if linearConflict(cs.atoms) {
 		return Unsat, nil
@@ -494,7 +518,7 @@ func (s *Solver) solveConj(atoms []*expr.Expr, budget *int) (Result, expr.Env) {
 	if !s.propagate(cs) {
 		return Unsat, nil
 	}
-	return s.search(cs, budget)
+	return s.search(ctx, cs, budget)
 }
 
 // propagate runs domain tightening to a fixpoint (bounded rounds). It
@@ -719,9 +743,15 @@ func ceilDiv(a, b int64) int64 {
 	return clamp(q)
 }
 
+// ctxCheckMask paces cancellation polling inside the enumeration loop:
+// ctx.Err() takes a lock on cancellable contexts, so it is consulted every
+// 64 decisions rather than on each one. 64 decisions re-propagate domains
+// in well under a millisecond, keeping abort latency negligible.
+const ctxCheckMask = 63
+
 // search enumerates assignments. It always verifies candidate models against
 // the original atoms before reporting Sat.
-func (s *Solver) search(cs *conjState, budget *int) (Result, expr.Env) {
+func (s *Solver) search(ctx context.Context, cs *conjState, budget *int) (Result, expr.Env) {
 	if *budget <= 0 {
 		return Unknown, nil
 	}
@@ -764,6 +794,9 @@ func (s *Solver) search(cs *conjState, budget *int) (Result, expr.Env) {
 		if *budget <= 0 {
 			return Unknown, nil
 		}
+		if *budget&ctxCheckMask == 0 && ctx.Err() != nil {
+			return Unknown, nil
+		}
 		*budget--
 		s.stats.decisions.Add(1)
 		child := cs.clone()
@@ -772,7 +805,7 @@ func (s *Solver) search(cs *conjState, budget *int) (Result, expr.Env) {
 		if !s.propagate(child) {
 			continue
 		}
-		res, model := s.search(child, budget)
+		res, model := s.search(ctx, child, budget)
 		switch res {
 		case Sat:
 			return Sat, model

@@ -1,0 +1,136 @@
+package symexec
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"achilles/internal/lang"
+)
+
+// wideSrc is a program with 2^12 fork-tree leaves: deep enough that a
+// cancelled context reliably strikes mid-frontier, small enough that the
+// full-run reference stays fast.
+const wideSrc = `
+var m [12]int;
+var acc int;
+
+func main() {
+	recv(m);
+	var i int = 0;
+	acc = 0;
+	while i < 12 {
+		if m[i] > 0 { acc = acc + 1; }
+		i = i + 1;
+	}
+	accept();
+}`
+
+func compileWide(t *testing.T) *lang.Unit {
+	t.Helper()
+	u, err := lang.Compile(wideSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+// TestRunCtxPreCancelled: a context cancelled before the run returns
+// immediately with an empty-or-tiny truncated result, in both engines.
+func TestRunCtxPreCancelled(t *testing.T) {
+	u := compileWide(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 8} {
+		res, err := RunCtx(ctx, u, Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if !res.Stats.Cancelled || !res.Stats.Truncated {
+			t.Fatalf("par=%d: stats = %+v, want Cancelled+Truncated", par, res.Stats)
+		}
+		if res.Stats.States > 2 {
+			t.Fatalf("par=%d: pre-cancelled run still recorded %d states", par, res.Stats.States)
+		}
+	}
+}
+
+// TestRunCtxCancelMidFrontier cancels a wide exploration partway through and
+// checks the abort contract: partial terminal set, Truncated+Cancelled set,
+// every recorded state genuinely terminal, and no goroutines left behind.
+func TestRunCtxCancelMidFrontier(t *testing.T) {
+	u := compileWide(t)
+	full, err := Run(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Truncated {
+		t.Fatal("full run unexpectedly truncated")
+	}
+	before := runtime.NumGoroutine()
+	for _, par := range []int{1, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan *Result, 1)
+		go func() {
+			res, err := RunCtx(ctx, u, Options{Parallelism: par})
+			if err != nil {
+				t.Error(err)
+			}
+			done <- res
+		}()
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		res := <-done
+		if !res.Stats.Cancelled || !res.Stats.Truncated {
+			t.Fatalf("par=%d: stats = %+v, want Cancelled+Truncated", par, res.Stats)
+		}
+		if res.Stats.States >= full.Stats.States {
+			t.Logf("par=%d: cancellation landed after completion (%d states) — timing, not a bug", par, res.Stats.States)
+		}
+		for _, st := range res.States {
+			if st.Status == StatusRunning {
+				t.Fatalf("par=%d: half-executed state recorded as terminal", par)
+			}
+		}
+	}
+	// Engine goroutines (workers + cancellation watcher) must all exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, now)
+	}
+}
+
+// TestRunCtxDeadline: a deadline behaves like cancellation.
+func TestRunCtxDeadline(t *testing.T) {
+	u := compileWide(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Millisecond)
+	defer cancel()
+	res, err := RunCtx(ctx, u, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Truncated {
+		t.Fatalf("deadline run not truncated: %+v", res.Stats)
+	}
+}
+
+// TestRunCtxBackgroundUnchanged: RunCtx with a background context is exactly
+// Run — same terminal count, no truncation.
+func TestRunCtxBackgroundUnchanged(t *testing.T) {
+	u := compileWide(t)
+	a, err := Run(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCtx(context.Background(), u, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.States != b.Stats.States || b.Stats.Cancelled || b.Stats.Truncated {
+		t.Fatalf("background RunCtx diverged: seq %+v, par %+v", a.Stats, b.Stats)
+	}
+}

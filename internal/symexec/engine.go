@@ -24,6 +24,7 @@
 package symexec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -236,13 +237,19 @@ type Stats struct {
 	Steps       int
 	SolverCalls int
 
-	// Truncated reports that MaxStates stopped the exploration while
-	// unexplored states remained on the worklist: the terminal set (and
-	// everything derived from it, e.g. a Trojan class set) is a partial
-	// sample, not the full fork tree. Sequential and parallel runs enforce
-	// the budget on the same counter — terminal states recorded — so the
-	// flag trips identically in both modes.
+	// Truncated reports that the exploration stopped before the fork tree
+	// was exhausted — either MaxStates tripped while unexplored states
+	// remained on the worklist, or the run's context was cancelled. The
+	// terminal set (and everything derived from it, e.g. a Trojan class set)
+	// is a partial sample, not the full fork tree. Sequential and parallel
+	// runs enforce the MaxStates budget on the same counter — terminal
+	// states recorded — so the flag trips identically in both modes.
 	Truncated bool
+
+	// Cancelled reports that the run's context was cancelled (or its
+	// deadline passed) before the exploration finished. A cancelled run is
+	// always Truncated too.
+	Cancelled bool
 }
 
 // Result is the outcome of a run.
@@ -270,9 +277,27 @@ type Engine struct {
 	res  *Result
 	next atomic.Int64 // state id counter
 
-	par       bool         // parallel run in progress
-	termCount atomic.Int64 // terminal states recorded (MaxStates enforcement)
-	front     *frontier    // shared work queue (parallel mode)
+	par       bool            // parallel run in progress
+	termCount atomic.Int64    // terminal states recorded (MaxStates enforcement)
+	front     *frontier       // shared work queue (parallel mode)
+	ctx       context.Context // run context (never nil during a run)
+	cancelled atomic.Bool     // ctx fired before the exploration finished
+}
+
+// stepCheckMask paces cancellation polling inside the interpreter loop:
+// ctx.Err() can take a lock, so a running state only consults it every 256
+// instructions (and at every state/fork boundary). A few hundred IR steps
+// complete in microseconds, keeping abort latency far below any deadline a
+// caller would set.
+const stepCheckMask = 255
+
+// ctxAborted reports (and records) that the run context is cancelled.
+func (e *Engine) ctxAborted() bool {
+	if e.ctx.Err() == nil {
+		return false
+	}
+	e.cancelled.Store(true)
+	return true
 }
 
 // wctx is the per-worker execution context: statistics and terminal states
@@ -304,11 +329,28 @@ func Run(unit *lang.Unit, opts Options) (*Result, error) {
 	return New(unit, opts).Run()
 }
 
+// RunCtx is Run under a context: cancellation (or a deadline) aborts the
+// exploration cleanly mid-frontier. The terminal states recorded up to the
+// abort are returned with Stats.Truncated and Stats.Cancelled set; like a
+// MaxStates truncation, which subset survives is scheduling-dependent under
+// parallelism.
+func RunCtx(ctx context.Context, unit *lang.Unit, opts Options) (*Result, error) {
+	return New(unit, opts).RunCtx(ctx)
+}
+
 // ErrEntryMissing is returned when the entry function does not exist.
 var ErrEntryMissing = errors.New("symexec: entry function not found")
 
 // Run performs the exploration.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx performs the exploration under ctx; see the package-level RunCtx.
+func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	entry := e.unit.FuncNamed(e.opts.Entry)
 	if entry == nil {
 		return nil, fmt.Errorf("%w: %q", ErrEntryMissing, e.opts.Entry)
@@ -322,11 +364,16 @@ func (e *Engine) Run() (*Result, error) {
 	e.termCount.Store(0)
 	e.par = false
 	e.front = nil
+	e.ctx = ctx
+	e.cancelled.Store(false)
 	init := e.initialState(entry)
 	if e.opts.Parallelism > 1 && !e.opts.Concrete {
 		e.runParallel(init)
 	} else {
 		e.runSequential(init)
+	}
+	if e.res.Stats.Cancelled {
+		e.res.Stats.Truncated = true
 	}
 	return e.res, nil
 }
@@ -339,17 +386,28 @@ func (e *Engine) runSequential(init *State) {
 		if int(e.termCount.Load()) >= e.opts.MaxStates {
 			break
 		}
+		if e.ctxAborted() {
+			break
+		}
 		st := work[len(work)-1]
 		work = work[:len(work)-1]
 		for st.Status == StatusRunning {
+			if st.Steps&stepCheckMask == 0 && e.ctxAborted() {
+				break
+			}
 			child := e.step(ctx, st)
 			if child != nil {
 				work = append(work, child)
 			}
 		}
+		if st.Status == StatusRunning {
+			// Aborted mid-state: the state is incomplete, not terminal.
+			break
+		}
 		e.record(ctx, st)
 	}
-	ctx.stats.Truncated = len(work) > 0
+	ctx.stats.Cancelled = e.cancelled.Load()
+	ctx.stats.Truncated = len(work) > 0 || ctx.stats.Cancelled
 	e.res.States = ctx.terminals
 	e.res.Stats = ctx.stats
 }
@@ -652,7 +710,7 @@ func (e *Engine) feasible(ctx *wctx, st *State, cond *expr.Expr) bool {
 	cs := make([]*expr.Expr, 0, len(st.Path)+1)
 	cs = append(cs, st.Path...)
 	cs = append(cs, cond)
-	res, _ := e.opts.Solver.Check(cs)
+	res, _ := e.opts.Solver.CheckCtx(e.ctx, cs)
 	return res != solver.Unsat
 }
 

@@ -82,10 +82,30 @@ func (f *frontier) leftover() bool {
 // states are sorted by Trail (the canonical fork-tree order; see
 // State.Trail for how it relates to the sequential completion order) and
 // IDs are renumbered to that order.
+//
+// Cancellation: a watcher goroutine stops the frontier the moment the run
+// context fires, waking blocked workers; running workers additionally poll
+// the context at state boundaries and every stepCheckMask instructions, so
+// no worker outlives the cancellation by more than a few hundred IR steps.
+// A state caught mid-execution is dropped, not recorded — its status is
+// still StatusRunning, and a half-executed state must not masquerade as a
+// terminal one.
 func (e *Engine) runParallel(init *State) {
 	e.par = true
 	e.front = newFrontier()
 	e.front.push(init)
+
+	watchDone := make(chan struct{})
+	if e.ctx.Done() != nil {
+		go func() {
+			select {
+			case <-e.ctx.Done():
+				e.cancelled.Store(true)
+				e.front.stop()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	workers := e.opts.Parallelism
 	ctxs := make([]*wctx, workers)
@@ -102,16 +122,22 @@ func (e *Engine) runParallel(init *State) {
 					return
 				}
 				for st.Status == StatusRunning {
+					if st.Steps&stepCheckMask == 0 && e.ctxAborted() {
+						break
+					}
 					if sibling := e.step(ctx, st); sibling != nil {
 						e.front.push(sibling)
 					}
 				}
-				e.record(ctx, st)
+				if st.Status != StatusRunning {
+					e.record(ctx, st)
+				}
 				e.front.done()
 			}
 		}()
 	}
 	wg.Wait()
+	close(watchDone)
 
 	var all []*State
 	var stats Stats
@@ -126,7 +152,8 @@ func (e *Engine) runParallel(init *State) {
 	for i, st := range all {
 		st.ID = i
 	}
-	stats.Truncated = e.front.leftover()
+	stats.Cancelled = e.cancelled.Load()
+	stats.Truncated = e.front.leftover() || stats.Cancelled
 	e.res.States = all
 	e.res.Stats = stats
 }
