@@ -4,13 +4,15 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|firsttrojan|all [-j N] [-target NAME]
+//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|firsttrojan|recall|all [-j N] [-target NAME] [-mutants N]
 //
 // -j bounds the worker counts tried by the speedup and campaign experiments
-// (powers of two up to N; default: all CPUs) and drives the sweep and the
-// incremental cold-vs-warm study. -target restricts the fuzzbase experiment
-// to one registry target (default: every fuzzable one). An invalid -j or
-// unknown experiment is a usage error (exit 2).
+// (powers of two up to N; default: all CPUs) and drives the sweep, the
+// incremental cold-vs-warm study and the mutation-recall campaign. -target
+// restricts the fuzzbase experiment to one registry target (default: every
+// fuzzable one). -mutants caps generated mutants per target for the recall
+// experiment (0 = every mutation site). An invalid -j or unknown experiment
+// is a usage error (exit 2).
 package main
 
 import (
@@ -27,10 +29,16 @@ func main() {
 	fuzzTests := flag.Int("fuzz-tests", 20000, "fuzzing campaign size")
 	jobs := flag.Int("j", runtime.NumCPU(), "max parallelism for the speedup experiment")
 	target := flag.String("target", "all", "registry target for the fuzzbase experiment")
+	mutants := flag.Int("mutants", 0, "mutant cap per target for the recall experiment (0 = every site)")
 	flag.Parse()
 
 	if *jobs < 1 {
 		fmt.Fprintf(os.Stderr, "benchtab: invalid -j %d (must be >= 1)\n", *jobs)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *mutants < 0 {
+		fmt.Fprintf(os.Stderr, "benchtab: invalid -mutants %d (must be >= 0)\n", *mutants)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -169,5 +177,12 @@ func main() {
 			return "", err
 		}
 		return ft.Render(), nil
+	})
+	run("recall", func() (string, error) {
+		r, err := experiments.RunRecall(*jobs, *mutants)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
 	})
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// reexec re-runs the test binary as trojan-inject with the given arguments
+// and returns its exit code and combined output.
+func reexec(t *testing.T, args string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "TestReexecEntry")
+	cmd.Env = append(os.Environ(), "TROJAN_INJECT_ARGS="+args)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("re-exec failed to run: %v\noutput:\n%s", err, out)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestReexecEntry is the child-process entry point for the re-exec tests:
+// with TROJAN_INJECT_ARGS set it behaves as the trojan-inject binary.
+func TestReexecEntry(t *testing.T) {
+	args := os.Getenv("TROJAN_INJECT_ARGS")
+	if args == "" {
+		t.Skip("re-exec entry point; driven by the exit-code tests")
+	}
+	os.Args = append([]string{"trojan-inject"}, strings.Split(args, " ")...)
+	main()
+	os.Exit(0) // fire-drill path returned without exiting: success
+}
+
+// TestUsageErrorsExit2 pins the exit-code contract CI distinguishes: usage
+// errors exit 2, never 1 (the "campaign found problems" code).
+func TestUsageErrorsExit2(t *testing.T) {
+	cases := map[string]string{
+		// kv is registered but has no live fire drill.
+		"target-without-fire-drill": "-target kv",
+		"unknown-target":            "-target no-such-proto",
+		"mutate-unknown-target":     "-mutate -targets fsp,no-such-proto",
+		"mutate-unknown-operator":   "-mutate -targets kv -ops drop-everything",
+		"mutate-bad-j":              "-mutate -j 0",
+		"mutate-bad-max":            "-mutate -max -1",
+		"mutate-bad-mode":           "-mutate -mode nope",
+		"mutate-bad-baseline":       "-mutate -baseline /no/such/bundle",
+	}
+	for name, args := range cases {
+		t.Run(name, func(t *testing.T) {
+			code, out := reexec(t, args)
+			if code != 2 {
+				t.Errorf("exit code %d, want 2\noutput:\n%s", code, out)
+			}
+		})
+	}
+}
+
+// TestMutateCampaignSmoke runs a real (tiny) mutation campaign through the
+// CLI: it must exit 0, report the seeded kv Trojan as found, and reuse every
+// job on an incremental re-run against its own bundle.
+func TestMutateCampaignSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "bundle")
+	report := filepath.Join(t.TempDir(), "recall.json")
+	code, out := reexec(t, "-mutate -targets kv -max 4 -j 2 -out "+dir+" -report "+report)
+	if code != 0 {
+		t.Fatalf("exit code %d, want 0\noutput:\n%s", code, out)
+	}
+	for _, want := range []string{"mutation recall", "kv", "found", "recall report: " + report} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"seeded_detected": true`) {
+		t.Fatalf("report does not confirm the seeded Trojan:\n%s", raw)
+	}
+
+	code, out = reexec(t, "-mutate -targets kv -max 4 -j 2 -baseline "+dir)
+	if code != 0 {
+		t.Fatalf("incremental run exit code %d, want 0\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "cached 5/5 job(s)") {
+		t.Errorf("incremental run did not reuse every job:\n%s", out)
+	}
+}
+
+// TestMutateClobberRefused: an occupied -out without -force is refused up
+// front, before any analysis runs.
+func TestMutateClobberRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := reexec(t, "-mutate -targets kv -max 1 -out "+dir)
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2\noutput:\n%s", code, out)
+	}
+	if !strings.Contains(out, "-force") {
+		t.Errorf("refusal lacks the -force hint:\n%s", out)
+	}
+}

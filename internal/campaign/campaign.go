@@ -86,6 +86,23 @@ type Options struct {
 	// BaselineDir is recorded in the manifest for provenance when Baseline
 	// is set (it does not affect reuse decisions).
 	BaselineDir string
+	// Extra lists campaign-local descriptors resolvable by this run in
+	// addition to the global registry — the mutation engine injects its
+	// generated mutant targets here without registering them globally.
+	// Extras shadow registry entries of the same name and are appended to
+	// the default plan when Targets is empty. Aliases are ignored.
+	Extra []registry.Descriptor
+}
+
+// lookupTarget resolves a target name against the campaign-local extras
+// first, then the global registry.
+func (o Options) lookupTarget(name string) (registry.Descriptor, bool) {
+	for i := range o.Extra {
+		if o.Extra[i].Name == name {
+			return o.Extra[i], true
+		}
+	}
+	return registry.Lookup(name)
 }
 
 // Plan expands the options into the concrete job list, in deterministic
@@ -94,10 +111,14 @@ func Plan(opts Options) ([]Job, error) {
 	names := opts.Targets
 	if len(names) == 0 {
 		names = registry.Names()
+		for i := range opts.Extra {
+			names = append(names, opts.Extra[i].Name)
+		}
+		sort.Strings(names)
 	} else {
 		canon := make([]string, len(names))
 		for i, n := range names {
-			d, ok := registry.Lookup(n)
+			d, ok := opts.lookupTarget(n)
 			if !ok {
 				return nil, fmt.Errorf("campaign: unknown target %q (registered: %v)", n, registry.Names())
 			}
@@ -184,13 +205,17 @@ func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
 	runs := make([]RunManifest, len(jobs))
 	reports := make([][]Report, len(jobs))
 
-	// Fingerprint every job up front: fingerprints decide baseline reuse
-	// here and are recorded in the manifest either way, so THIS bundle can
-	// serve as the next run's baseline.
+	// Resolve every job's descriptor (campaign-local extras first) and
+	// fingerprint it up front: fingerprints decide baseline reuse here and
+	// are recorded in the manifest either way, so THIS bundle can serve as
+	// the next run's baseline.
+	ds := make([]registry.Descriptor, len(jobs))
+	found := make([]bool, len(jobs))
 	fps := make([]string, len(jobs))
 	for i, j := range jobs {
-		if d, ok := registry.Lookup(j.Target); ok {
-			fps[i] = d.InputFingerprint(j.Mode, Version)
+		ds[i], found[i] = opts.lookupTarget(j.Target)
+		if found[i] {
+			fps[i] = ds[i].InputFingerprint(j.Mode, Version)
 		}
 	}
 
@@ -223,7 +248,7 @@ func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
 					runs[i] = interruptedManifest(jobs[i], ctx.Err())
 					continue
 				}
-				runs[i], reports[i] = runJob(ctx, jobs[i], perWorker[w], sol)
+				runs[i], reports[i] = runJob(ctx, jobs[i], ds[i], found[i], perWorker[w], sol)
 			}
 		}()
 	}
@@ -335,13 +360,12 @@ func splitBudget(budget, workers int) []int {
 // entry and report stream. A job cancelled mid-exploration is recorded as
 // interrupted: its partial class set is discarded — a bundle must never
 // present a cut-short job as that target's result.
-func runJob(ctx context.Context, j Job, parallelism int, sol *solver.Solver) (RunManifest, []Report) {
+func runJob(ctx context.Context, j Job, d registry.Descriptor, ok bool, parallelism int, sol *solver.Solver) (RunManifest, []Report) {
 	rm := RunManifest{
 		Target:     j.Target,
 		Mode:       j.Mode.String(),
 		ReportFile: reportFileName(j),
 	}
-	d, ok := registry.Lookup(j.Target)
 	if !ok {
 		rm.Error = fmt.Sprintf("target %q disappeared from the registry", j.Target)
 		return rm, nil

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"achilles/internal/core"
+	"achilles/internal/protocols/registry"
 
 	// Populate the registry: campaign tests run real (cheap) targets.
 	_ "achilles/internal/protocols"
@@ -190,5 +191,56 @@ func TestJobBudgetSplitsAcrossPool(t *testing.T) {
 	}
 	if b7.Manifest.Jobs != 7 {
 		t.Errorf("manifest records jobs=%d, want 7", b7.Manifest.Jobs)
+	}
+}
+
+// TestExtraDescriptors covers campaign-local targets (registry.Descriptor
+// values passed via Options.Extra instead of global registration) — the
+// surface the mutation engine rides on.
+func TestExtraDescriptors(t *testing.T) {
+	base := registry.MustLookup("kv")
+	variant := base.Derive("kv+swap", "kv with verdicts swapped for the test", nil)
+
+	// Named plans resolve extras exactly like registered targets.
+	jobs, err := Plan(Options{Targets: []string{"kv", "kv+swap"}, Extra: []registry.Descriptor{variant}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[1].Target != "kv+swap" {
+		t.Fatalf("plan = %+v, want kv and kv+swap", jobs)
+	}
+	// Empty-target plans include extras alongside the whole registry.
+	jobs, err = Plan(Options{Extra: []registry.Descriptor{variant}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, j := range jobs {
+		if j.Target == "kv+swap" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("default plan misses the extra target: %+v", jobs)
+	}
+	// An extra must not shadow nothing: unknown names still fail.
+	if _, err := Plan(Options{Targets: []string{"kv+other"}, Extra: []registry.Descriptor{variant}}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+
+	// Run both: the no-op derivation reproduces the base class set under
+	// its own job key, and its manifest entry carries a fingerprint.
+	b := mustRun(t, Options{Targets: []string{"kv", "kv+swap"}, Jobs: 2, Extra: []registry.Descriptor{variant}})
+	if len(b.Manifest.Runs) != 2 {
+		t.Fatalf("ran %d jobs, want 2", len(b.Manifest.Runs))
+	}
+	jd := DiffReports("kv-vs-variant", b.Reports["kv/optimized"], b.Reports["kv+swap/optimized"])
+	if !jd.Empty() {
+		t.Errorf("no-op variant diverged from base: %+v", jd)
+	}
+	for _, rm := range b.Manifest.Runs {
+		if rm.InputFingerprint == "" {
+			t.Errorf("job %s has no input fingerprint", rm.Key())
+		}
 	}
 }

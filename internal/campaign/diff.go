@@ -92,6 +92,15 @@ func Diff(prev, next *Bundle) *BundleDiff {
 	return d
 }
 
+// DiffReports compares two report streams of one logical job as a
+// class-level diff — the same comparison Diff applies per job key, exposed
+// for consumers that pair jobs across *different* keys, such as the
+// mutation engine diffing a mutant target's stream against its unmutated
+// baseline stream within one bundle.
+func DiffReports(jobKey string, prev, next []Report) JobDiff {
+	return diffJob(jobKey, prev, next)
+}
+
 // diffJob compares the class sets of one job. Within a job a ClassID can in
 // principle map to several reports (distinct accepting paths yielding the
 // same witness never happen today, but the format does not forbid it), so

@@ -257,3 +257,32 @@ func TestCampaignScaling(t *testing.T) {
 		t.Fatalf("render missing determinism banner:\n%s", c.Render())
 	}
 }
+
+func TestRecallShape(t *testing.T) {
+	// Two mutants per target keep the test affordable; the full-catalog
+	// numbers live in EXPERIMENTS.md.
+	r, err := RunRecall(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Targets) != 3 {
+		t.Fatalf("want 3 targets (fsp, kv, raft), got %d", len(r.Targets))
+	}
+	for _, tr := range r.Targets {
+		if tr.Tally.Generated != 2 {
+			t.Errorf("%s generated %d mutants, want 2", tr.Target, tr.Tally.Generated)
+		}
+		if !tr.SeededTrojans || !tr.SeededDetected {
+			t.Errorf("%s: seeded ground truth not detected", tr.Target)
+		}
+		if tr.Precision == nil || tr.Precision.Score != 1 {
+			t.Errorf("%s: precision on ground truth not 1.00: %+v", tr.Target, tr.Precision)
+		}
+	}
+	if fn := r.FalseNegatives(); len(fn) != 0 {
+		t.Errorf("false negatives: %v", fn)
+	}
+	if !strings.Contains(r.Render(), "mutation recall") {
+		t.Fatalf("render missing header:\n%s", r.Render())
+	}
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"achilles/internal/mutate"
+)
+
+// RunRecall is the standing mutation-recall experiment behind the
+// EXPERIMENTS.md table: mutate the seeded registry targets with the full
+// operator catalog (maxPerTarget 0 = every site), audit originals and
+// mutants as one campaign at the given parallelism, and measure which
+// injected bugs the detector catches (recall) alongside how its baseline
+// findings hold up against the ground-truth oracles (precision).
+func RunRecall(jobs, maxPerTarget int) (*mutate.RecallReport, error) {
+	res, err := mutate.Run(mutate.CampaignOptions{
+		Jobs:         jobs,
+		MaxPerTarget: maxPerTarget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Report, nil
+}

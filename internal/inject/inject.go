@@ -5,6 +5,7 @@
 package inject
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -42,7 +43,7 @@ func FSPFireDrill(send func(pkt []byte) ([]byte, error)) ([]Outcome, error) {
 		case err == nil:
 			o.Accepted = true
 			o.Effect = describeFSPEffect(tr.Concrete, reply)
-		case strings.Contains(err.Error(), "not found"), strings.Contains(err.Error(), "already exists"):
+		case errors.Is(err, fsp.ErrNotFound), errors.Is(err, fsp.ErrExists):
 			// The message passed all validation and the server attempted
 			// the action — the accept marker in the model — but the action
 			// itself failed on the current filesystem state.

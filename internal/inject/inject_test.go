@@ -34,21 +34,107 @@ func TestFireDrillAllTrojansAccepted(t *testing.T) {
 	}
 }
 
-func TestEffectDescriptions(t *testing.T) {
-	// Wildcard effect.
+// fspMsg builds an FSP field vector with the given reported length and path
+// bytes (remaining path bytes stay NUL).
+func fspMsg(reported int64, path ...int64) []int64 {
 	msg := make([]int64, fsp.NumFields)
-	msg[fsp.FieldLen] = 2
-	msg[fsp.FieldBuf] = fsp.Wildcard
-	msg[fsp.FieldBuf+1] = 'a'
-	if got := describeFSPEffect(msg, nil); !strings.Contains(got, "'*'") {
-		t.Errorf("wildcard effect missing: %q", got)
+	msg[fsp.FieldLen] = reported
+	copy(msg[fsp.FieldBuf:], path)
+	return msg
+}
+
+func TestDescribeFSPEffect(t *testing.T) {
+	cases := []struct {
+		name    string
+		msg     []int64
+		reply   []byte
+		want    []string // substrings that must appear
+		wantNot []string // substrings that must not
+	}{
+		{
+			name:    "wildcard reaches fs layer",
+			msg:     fspMsg(2, fsp.Wildcard, 'a'),
+			want:    []string{"literal '*' reached the filesystem layer"},
+			wantNot: []string{"smuggled"},
+		},
+		{
+			name: "smuggled bytes past the parser",
+			// reported 3, NUL at buf[1] -> actual 1 -> 1 byte smuggled.
+			msg:     fspMsg(3, 'a', 0, 'x'),
+			want:    []string{"smuggled 1 byte(s)"},
+			wantNot: []string{"'*'"},
+		},
+		{
+			name: "smuggled count scales with the gap",
+			msg:  fspMsg(5, 'a', 0, 'x', 'y', 'z'),
+			want: []string{"smuggled 3 byte(s)"},
+		},
+		{
+			name: "wildcard and smuggling together",
+			msg:  fspMsg(4, fsp.Wildcard, 'b', 0, 'x'),
+			want: []string{"smuggled 1 byte(s)", "literal '*'"},
+		},
+		{
+			name: "wildcard beyond the true length is dead payload",
+			// The '*' sits after the NUL: it never reaches the fs layer.
+			msg:     fspMsg(3, 'a', 0, fsp.Wildcard),
+			want:    []string{"smuggled"},
+			wantNot: []string{"'*'"},
+		},
+		{
+			name:    "no anomaly",
+			msg:     fspMsg(2, 'a', 'b'),
+			want:    []string{"accepted"},
+			wantNot: []string{"smuggled", "'*'"},
+		},
+		{
+			name:  "reply is quoted",
+			msg:   fspMsg(2, 'a', 'b'),
+			reply: []byte("ok"),
+			want:  []string{`server replied "ok"`},
+		},
+		{
+			name:  "long replies are truncated",
+			msg:   fspMsg(2, 'a', 'b'),
+			reply: []byte(strings.Repeat("x", 64)),
+			want:  []string{strings.Repeat("x", 32) + "..."},
+		},
 	}
-	// Smuggling effect.
-	msg2 := make([]int64, fsp.NumFields)
-	msg2[fsp.FieldLen] = 3
-	msg2[fsp.FieldBuf] = 'a'
-	msg2[fsp.FieldBuf+2] = 'x'
-	if got := describeFSPEffect(msg2, nil); !strings.Contains(got, "smuggled") {
-		t.Errorf("smuggling effect missing: %q", got)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := describeFSPEffect(tc.msg, tc.reply)
+			for _, w := range tc.want {
+				if !strings.Contains(got, w) {
+					t.Errorf("effect %q missing %q", got, w)
+				}
+			}
+			for _, w := range tc.wantNot {
+				if strings.Contains(got, w) {
+					t.Errorf("effect %q must not contain %q", got, w)
+				}
+			}
+		})
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	acc := Outcome{Accepted: true}
+	rej := Outcome{Accepted: false}
+	cases := []struct {
+		name     string
+		outcomes []Outcome
+		want     Summary
+	}{
+		{"empty", nil, Summary{}},
+		{"all accepted", []Outcome{acc, acc}, Summary{Total: 2, Accepted: 2}},
+		{"all rejected", []Outcome{rej}, Summary{Total: 1, Rejected: 1}},
+		{"mixed", []Outcome{acc, rej, acc, rej, rej}, Summary{Total: 5, Accepted: 2, Rejected: 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Summarize(tc.outcomes); got != tc.want {
+				t.Errorf("Summarize = %+v, want %+v", got, tc.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,88 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrintParse drives the printer/parser round-trip the mutation
+// engine depends on: for any source the parser accepts, Print must render a
+// program the parser accepts again, and re-printing that program must be a
+// fixed point (canonical source re-parses to itself byte for byte). Check
+// and Compile must never panic, whatever the input — mutated or malformed
+// sources may only fail with errors.
+func FuzzParsePrintParse(f *testing.F) {
+	seeds := []string{
+		// Canonical well-formed model exercising every statement form.
+		`
+const N = 3;
+const NEG = -2;
+var msg [4]int;
+var state_x int;
+
+func main() {
+	recv(msg);
+	if msg[0] == N && msg[1] < 4 {
+		reject();
+	}
+	if msg[2] != 0 || msg[3] >= NEG {
+		msg[1] = msg[1] + 1;
+	} else {
+		msg[1] = 0 - 1;
+	}
+	while msg[1] > 0 {
+		msg[1] = msg[1] - 1;
+	}
+	helper(msg[0]);
+	accept();
+}
+
+func helper(v int) {
+	if v == 17 {
+		exit();
+	}
+}`,
+		// Real model sources from the registry corpus shape.
+		"var msg [2]int;\nfunc main() { recv(msg); if msg[0] != 1 { reject(); } accept(); }",
+		"var msg [1]int;\nfunc main() { accept(); }",
+		// Malformed inputs the parser must reject without panicking.
+		"func main() {",
+		"var msg [0]int; func main() { accept(); }",
+		"const = 1;",
+		"",
+		"\x00\xff",
+		"func main() { if { accept(); } }",
+		"var msg [2]int; func main() { msg[1 = 3; }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input: the only acceptable failure mode
+		}
+		out1 := Print(prog)
+		prog2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("printed program does not re-parse: %v\nsource:\n%s\nprinted:\n%s", err, src, out1)
+		}
+		out2 := Print(prog2)
+		if out1 != out2 {
+			t.Fatalf("Print is not a fixed point:\nfirst:\n%s\nsecond:\n%s", out1, out2)
+		}
+		// Checking may reject (undefined names, missing main, …) but must
+		// never panic; a checked program must compile, and its canonical
+		// print must itself check — the invariant mutant generation leans
+		// on when it re-prints a mutated AST.
+		if err := Check(prog2); err != nil {
+			if !strings.Contains(err.Error(), ":") {
+				t.Fatalf("check error without position info: %v", err)
+			}
+			return
+		}
+		if _, err := Compile(out2); err != nil {
+			t.Fatalf("checked canonical program does not compile: %v\n%s", err, out2)
+		}
+	})
+}

@@ -100,6 +100,12 @@ func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
 	}
 }
 
+// ExprString renders one expression in the same canonical form Print uses —
+// fully parenthesised binary operations, so the text re-parses to an
+// equivalent tree. Tooling (mutation site descriptions, diagnostics) uses it
+// to show sub-expressions without printing the whole program.
+func ExprString(e Expr) string { return exprStr(e) }
+
 // exprStr renders an expression with explicit parentheses around every
 // binary operation, which sidesteps precedence subtleties and guarantees
 // re-parse equivalence.

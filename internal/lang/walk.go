@@ -1,0 +1,106 @@
+package lang
+
+// AST walking helpers for tooling that inspects or rewrites parsed
+// programs — the mutation engine (internal/mutate) enumerates its candidate
+// edit sites with these visitors and applies an edit by assigning through
+// the visited slot.
+//
+// Both visitors traverse in source order, which makes site enumeration
+// deterministic: two walks of equal programs visit equal slots in the same
+// sequence. Visitors that rewrite must not rely on the replacement being
+// re-visited — children are visited before their parent's slot, and a
+// replacement subtree is not traversed.
+
+// VisitExprs calls fn with the address of every expression slot in the
+// program: global initialisers, declaration initialisers, assignment
+// indices and values, if/while conditions, return values, call and
+// intrinsic arguments, and every nested sub-expression. Assigning through
+// the slot replaces the expression in place. The call expression of an
+// expression statement is not itself a slot (a statement-position call
+// cannot be replaced by a non-call expression); its arguments are visited.
+func VisitExprs(p *Program, fn func(slot *Expr)) {
+	for _, g := range p.Globals {
+		if g.Init != nil {
+			visitExpr(&g.Init, fn)
+		}
+	}
+	for _, f := range p.Funcs {
+		visitExprsInStmts(f.Body, fn)
+	}
+}
+
+func visitExprsInStmts(list []Stmt, fn func(slot *Expr)) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *DeclStmt:
+			if s.Init != nil {
+				visitExpr(&s.Init, fn)
+			}
+		case *AssignStmt:
+			if s.Index != nil {
+				visitExpr(&s.Index, fn)
+			}
+			visitExpr(&s.Value, fn)
+		case *IfStmt:
+			visitExpr(&s.Cond, fn)
+			visitExprsInStmts(s.Then, fn)
+			visitExprsInStmts(s.Else, fn)
+		case *WhileStmt:
+			visitExpr(&s.Cond, fn)
+			visitExprsInStmts(s.Body, fn)
+		case *ReturnStmt:
+			if s.Value != nil {
+				visitExpr(&s.Value, fn)
+			}
+		case *ExprStmt:
+			for i := range s.Call.Args {
+				visitExpr(&s.Call.Args[i], fn)
+			}
+		}
+	}
+}
+
+func visitExpr(slot *Expr, fn func(slot *Expr)) {
+	switch e := (*slot).(type) {
+	case *IndexExpr:
+		visitExpr(&e.Index, fn)
+	case *UnaryExpr:
+		visitExpr(&e.X, fn)
+	case *BinaryExpr:
+		visitExpr(&e.X, fn)
+		visitExpr(&e.Y, fn)
+	case *CallExpr:
+		for i := range e.Args {
+			visitExpr(&e.Args[i], fn)
+		}
+	}
+	fn(slot)
+}
+
+// VisitStmtLists calls fn with the address of every statement list in the
+// program — function bodies, if/else branches and loop bodies — outermost
+// first. Assigning through the slot rewrites the list (e.g. deleting a
+// statement); nested lists of the original statements are visited after fn
+// returns, so a rewrite that removes a statement also prunes its subtree
+// from the walk only if fn runs before the recursion observes it — fn is
+// invoked on the list as it stands when visited.
+func VisitStmtLists(p *Program, fn func(list *[]Stmt)) {
+	for _, f := range p.Funcs {
+		visitStmtList(&f.Body, fn)
+	}
+}
+
+func visitStmtList(list *[]Stmt, fn func(list *[]Stmt)) {
+	fn(list)
+	for _, s := range *list {
+		switch s := s.(type) {
+		case *IfStmt:
+			visitStmtList(&s.Then, fn)
+			if s.Else != nil {
+				visitStmtList(&s.Else, fn)
+			}
+		case *WhileStmt:
+			visitStmtList(&s.Body, fn)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+const walkSrc = `
+const N = 3;
+var msg [2]int;
+
+func main() {
+	recv(msg);
+	if msg[0] == N && msg[1] < 4 {
+		reject();
+	}
+	while msg[1] > 0 {
+		msg[1] = msg[1] - 1;
+	}
+	accept();
+}`
+
+func TestVisitExprsOrderAndReplace(t *testing.T) {
+	prog, err := Parse(walkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	VisitExprs(prog, func(slot *Expr) {
+		seen = append(seen, ExprString(*slot))
+	})
+	if len(seen) == 0 {
+		t.Fatal("VisitExprs visited nothing")
+	}
+	// Children before parent: the conjunction's operands precede it.
+	conj := indexOf(t, seen, "((msg[0] == N) && (msg[1] < 4))")
+	left := indexOf(t, seen, "(msg[0] == N)")
+	if left > conj {
+		t.Errorf("child visited after parent: %v", seen)
+	}
+	// Two parses visit identical slots in identical order — the
+	// determinism the mutation engine's stable site indices rely on.
+	prog2, err := Parse(walkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen2 []string
+	VisitExprs(prog2, func(slot *Expr) {
+		seen2 = append(seen2, ExprString(*slot))
+	})
+	if strings.Join(seen, "\n") != strings.Join(seen2, "\n") {
+		t.Errorf("traversal order not deterministic:\n%v\nvs\n%v", seen, seen2)
+	}
+
+	// Replacement through the slot pointer lands in the printed output.
+	VisitExprs(prog, func(slot *Expr) {
+		if lit, ok := (*slot).(*IntLit); ok && lit.Val == 4 {
+			*slot = &IntLit{Pos_: lit.Pos_, Val: 5}
+		}
+	})
+	out := Print(prog)
+	if !strings.Contains(out, "5") || strings.Contains(out, "< 4") {
+		t.Errorf("slot replacement missing from output:\n%s", out)
+	}
+	if _, err := Compile(out); err != nil {
+		t.Errorf("mutated program does not compile: %v", err)
+	}
+}
+
+func TestVisitStmtLists(t *testing.T) {
+	prog, err := Parse(walkSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lens []int
+	VisitStmtLists(prog, func(list *[]Stmt) {
+		lens = append(lens, len(*list))
+	})
+	// main body (4 stmts), if body (1), while body (1).
+	if len(lens) != 3 || lens[0] != 4 {
+		t.Fatalf("visited %v, want [4 1 1]", lens)
+	}
+
+	// Deleting a statement through the list pointer sticks.
+	VisitStmtLists(prog, func(list *[]Stmt) {
+		for i, s := range *list {
+			if ifs, ok := s.(*IfStmt); ok && ifs.Else == nil {
+				*list = append((*list)[:i], (*list)[i+1:]...)
+				return
+			}
+		}
+	})
+	out := Print(prog)
+	if strings.Contains(out, "reject") {
+		t.Errorf("deleted if statement still printed:\n%s", out)
+	}
+	if _, err := Compile(out); err != nil {
+		t.Errorf("program after deletion does not compile: %v", err)
+	}
+}
+
+func indexOf(t *testing.T, ss []string, want string) int {
+	t.Helper()
+	for i, s := range ss {
+		if s == want {
+			return i
+		}
+	}
+	t.Fatalf("%q not visited; got:\n%s", want, strings.Join(ss, "\n"))
+	return -1
+}

@@ -1,0 +1,124 @@
+package mutate
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"achilles/internal/core"
+
+	_ "achilles/internal/protocols" // register targets
+)
+
+// TestCampaignFSP runs a small real campaign (fsp + a handful of mutants)
+// end to end and checks the classification invariants.
+func TestCampaignFSP(t *testing.T) {
+	res, err := Run(CampaignOptions{
+		Targets:      []string{"fsp"},
+		Mode:         core.ModeOptimized,
+		Jobs:         2,
+		MaxPerTarget: 6,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rep := res.Report
+	if len(rep.Targets) != 1 || rep.Targets[0].Target != "fsp" {
+		t.Fatalf("targets = %+v, want exactly fsp", rep.Targets)
+	}
+	tr := rep.Targets[0]
+	if tr.Tally.Generated != 6 {
+		t.Errorf("generated = %d, want 6", tr.Tally.Generated)
+	}
+	if !tr.SeededTrojans || !tr.SeededDetected {
+		t.Errorf("fsp seeded trojans must be detected: seeded=%v detected=%v (baseline classes %d)",
+			tr.SeededTrojans, tr.SeededDetected, tr.BaselineClasses)
+	}
+	if tr.BaselineClasses == 0 {
+		t.Error("baseline run found no Trojan classes on seeded fsp")
+	}
+	if tr.Precision == nil {
+		t.Fatal("fsp has an oracle; precision report missing")
+	}
+	if tr.Precision.Score != 1 {
+		t.Errorf("precision on ground truth = %.2f, want 1.00 (invalid: %v)",
+			tr.Precision.Score, tr.Precision.InvalidClasses)
+	}
+	for _, m := range tr.Mutants {
+		switch m.Outcome {
+		case Detected:
+			if m.Appeared == 0 {
+				t.Errorf("%s detected with no appeared classes", m.ID)
+			}
+		case Equivalent:
+			if m.Appeared+m.Disappeared+m.Changed != 0 {
+				t.Errorf("%s equivalent with diff counts +%d -%d ~%d", m.ID, m.Appeared, m.Disappeared, m.Changed)
+			}
+		case Escaped:
+			if m.Appeared != 0 || m.Disappeared+m.Changed == 0 {
+				t.Errorf("%s escaped with diff counts +%d -%d ~%d", m.ID, m.Appeared, m.Disappeared, m.Changed)
+			}
+		case Failed:
+			if m.Error == "" {
+				t.Errorf("%s failed without an error", m.ID)
+			}
+		default:
+			t.Errorf("%s has unknown outcome %q", m.ID, m.Outcome)
+		}
+	}
+	if rep.Total.Generated != 6 {
+		t.Errorf("total generated = %d, want 6", rep.Total.Generated)
+	}
+	if fn := rep.FalseNegatives(); len(fn) != 0 {
+		t.Errorf("false negatives on seeded targets: %v", fn)
+	}
+	// 1 base job + 6 mutant jobs, all in one bundle.
+	if got := len(res.Bundle.Manifest.Runs); got != 7 {
+		t.Errorf("campaign ran %d jobs, want 7", got)
+	}
+	if rep.Jobs != 2 {
+		t.Errorf("report pins -j %d, want 2", rep.Jobs)
+	}
+	if !json.Valid(mustJSON(t, rep)) {
+		t.Error("report does not marshal to valid JSON")
+	}
+	if out := rep.Render(); !strings.Contains(out, "fsp") || !strings.Contains(out, "recall") {
+		t.Errorf("Render missing expected content:\n%s", out)
+	}
+
+	// Incremental re-run against the bundle we just produced: identical
+	// inputs mean every job is reused verbatim and the verdicts stand.
+	res2, err := Run(CampaignOptions{
+		Targets:      []string{"fsp"},
+		Mode:         core.ModeOptimized,
+		Jobs:         2,
+		MaxPerTarget: 6,
+		Baseline:     res.Bundle,
+		BaselineDir:  "test-baseline",
+	})
+	if err != nil {
+		t.Fatalf("incremental Run: %v", err)
+	}
+	if res2.Report.CachedJobs != 7 {
+		t.Errorf("incremental run cached %d/7 jobs", res2.Report.CachedJobs)
+	}
+	if got, want := res2.Report.Total, rep.Total; got != want {
+		t.Errorf("incremental totals drifted: %+v vs %+v", got, want)
+	}
+}
+
+func TestCampaignUnknownTarget(t *testing.T) {
+	_, err := Run(CampaignOptions{Targets: []string{"no-such-target"}})
+	if err == nil || !strings.Contains(err.Error(), "no-such-target") {
+		t.Fatalf("err = %v, want unknown-target error", err)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}

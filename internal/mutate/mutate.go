@@ -1,0 +1,251 @@
+// Package mutate generates buggy variants ("mutants") of NL protocol models
+// and measures how many of them the Achilles analysis detects — mutation
+// testing applied to the detector itself.
+//
+// The paper validates Achilles by planting known Trojan vulnerabilities and
+// checking they are found (§4); that pins recall to a handful of hand-seeded
+// bugs per target. The mutation engine turns recall into a measured,
+// standing quantity: it takes a registered target's checked NL server model
+// (lang.Unit.Source), applies a catalog of semantic mutation operators on
+// the AST — weakened guards, dropped conjuncts, off-by-one bounds, dropped
+// validation clauses, swapped accept/reject verdicts, negated guards,
+// constant perturbation — and re-prints/re-compiles every candidate via the
+// existing Print/parser round trip. Candidates that fail the type checker or
+// whose canonical source is fingerprint-identical to the original (or to an
+// earlier mutant) are skipped; every survivor is a type-checked, distinct
+// buggy variant of the protocol.
+//
+// Each mutant becomes a campaign-local registry descriptor (Descriptor.
+// Derive) and all mutants of all targets run as ONE incremental campaign
+// (internal/campaign) so the input-fingerprint machinery makes repeated runs
+// cheap and resumable. A mutant is then classified against the unmutated
+// baseline job of the same campaign:
+//
+//   - detected: at least one new Trojan class appeared in the diff,
+//   - equivalent: the class set is byte-identical (same IDs, fingerprints),
+//   - escaped: the class set differs but no new class appeared — the
+//     injected bug changed behaviour without surfacing as a Trojan,
+//   - failed: the mutant's analysis errored (e.g. an out-of-range index the
+//     mutation introduced).
+//
+// Recall is detected / (detected + escaped); every escaped mutation class is
+// reported by operator — each one names a detector gap to work on.
+package mutate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"achilles/internal/lang"
+)
+
+// Version identifies the mutation engine revision recorded in recall
+// reports. Bump it when the operator catalog or classification semantics
+// change in a way that makes reports incomparable.
+const Version = "achilles-mutate/1"
+
+// Mutant is one generated buggy variant of an NL server model. Source is
+// the canonical (lang.Print) mutated program; it compiles — Generate
+// discards candidates the type checker rejects.
+type Mutant struct {
+	// ID is the stable mutant identity: operator name plus the site index
+	// in the operator's deterministic enumeration order (e.g.
+	// "swap-verdict-004"). IDs are stable across runs for an unchanged
+	// original source, which is what makes mutant campaign jobs
+	// fingerprint-reusable.
+	ID       string
+	Operator string
+	// Site describes the edit, e.g. "(msg[1] != 0) -> !((msg[1] != 0))".
+	Site string
+	// Pos is the source position of the mutated node in the canonical
+	// original source.
+	Pos lang.Pos
+	// Source is the canonical mutated NL source.
+	Source string
+	// Fingerprint is a short content hash of Source, used to deduplicate
+	// mutants and to skip edits that round-trip to the original program.
+	Fingerprint string
+}
+
+// Options configure mutant generation.
+type Options struct {
+	// Operators restricts generation to the named operators; nil or empty
+	// means the full catalog. Unknown names are an error.
+	Operators []string
+	// Max caps the number of returned mutants; 0 means every surviving
+	// site. The cap is applied round-robin across operators so a small
+	// budget still samples the whole catalog instead of exhausting the
+	// first operator's sites.
+	Max int
+}
+
+// Stats counts what happened to the candidate edits of one generation.
+type Stats struct {
+	// Sites is the number of candidate edits enumerated across operators.
+	Sites int
+	// CompileFailed counts candidates the type checker rejected.
+	CompileFailed int
+	// Identical counts candidates whose canonical source equals the
+	// original program — equivalent by construction.
+	Identical int
+	// Duplicate counts candidates that collided with an earlier mutant's
+	// fingerprint (two operators producing the same edit).
+	Duplicate int
+	// Kept is the number of mutants returned (before the Max cap:
+	// Kept - Capped are dropped by the round-robin selection).
+	Kept int
+	// Capped counts mutants dropped by Options.Max.
+	Capped int
+}
+
+// OperatorNames returns the catalog's operator names in catalog order.
+func OperatorNames() []string {
+	out := make([]string, len(catalog))
+	for i, op := range catalog {
+		out[i] = op.name
+	}
+	return out
+}
+
+// Generate enumerates the mutation catalog over a checked unit's source and
+// returns every type-checked, non-equivalent, deduplicated mutant, in
+// deterministic order. The unit must retain its checked AST (Unit.Source);
+// compiled units built by lang.Compile always do.
+func Generate(u *lang.Unit, opts Options) ([]Mutant, Stats, error) {
+	if u == nil || u.Source == nil {
+		return nil, Stats{}, fmt.Errorf("mutate: unit has no retained source AST")
+	}
+	ops, err := selectOperators(opts.Operators)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// Canonicalise first: all site enumeration happens on fresh parses of
+	// the canonical text, so positions and site order are independent of
+	// the original literal's formatting.
+	canonical := lang.Print(u.Source)
+	origFP := fingerprint(canonical)
+
+	var stats Stats
+	seen := map[string]bool{origFP: true}
+	perOp := make([][]Mutant, len(ops))
+	for oi, op := range ops {
+		sites := collectSites(canonical, op)
+		stats.Sites += len(sites)
+		for si := range sites {
+			// Re-parse per mutant: sites hold apply closures bound to one
+			// AST, and each edit must start from a pristine tree.
+			prog, err := lang.Parse(canonical)
+			if err != nil {
+				return nil, stats, fmt.Errorf("mutate: canonical source does not re-parse: %w", err)
+			}
+			fresh := op.collect(prog)
+			if len(fresh) != len(sites) {
+				return nil, stats, fmt.Errorf("mutate: %s enumerated %d sites, then %d — non-deterministic walk",
+					op.name, len(sites), len(fresh))
+			}
+			fresh[si].apply()
+			mutSrc := lang.Print(prog)
+			fp := fingerprint(mutSrc)
+			if fp == origFP {
+				stats.Identical++
+				continue
+			}
+			if seen[fp] {
+				stats.Duplicate++
+				continue
+			}
+			if _, err := lang.Compile(mutSrc); err != nil {
+				stats.CompileFailed++
+				continue
+			}
+			seen[fp] = true
+			perOp[oi] = append(perOp[oi], Mutant{
+				ID:          fmt.Sprintf("%s-%03d", op.name, si),
+				Operator:    op.name,
+				Site:        fresh[si].desc,
+				Pos:         fresh[si].pos,
+				Source:      mutSrc,
+				Fingerprint: fp,
+			})
+		}
+	}
+	for _, ms := range perOp {
+		stats.Kept += len(ms)
+	}
+	out := interleave(perOp, opts.Max)
+	stats.Capped = stats.Kept - len(out)
+	return out, stats, nil
+}
+
+// collectSites enumerates one operator's candidate edits on a fresh parse.
+func collectSites(canonical string, op operator) []site {
+	prog, err := lang.Parse(canonical)
+	if err != nil {
+		return nil
+	}
+	return op.collect(prog)
+}
+
+// interleave applies the Max cap round-robin across operators, preserving
+// each operator's site order.
+func interleave(perOp [][]Mutant, max int) []Mutant {
+	total := 0
+	for _, ms := range perOp {
+		total += len(ms)
+	}
+	if max <= 0 || max > total {
+		max = total
+	}
+	out := make([]Mutant, 0, max)
+	for i := 0; len(out) < max; i++ {
+		took := false
+		for _, ms := range perOp {
+			if i < len(ms) {
+				out = append(out, ms[i])
+				took = true
+				if len(out) == max {
+					break
+				}
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	return out
+}
+
+// selectOperators resolves an operator-name filter against the catalog.
+func selectOperators(names []string) ([]operator, error) {
+	if len(names) == 0 {
+		return catalog, nil
+	}
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []operator
+	for _, op := range catalog {
+		if want[op.name] {
+			out = append(out, op)
+			delete(want, op.name)
+		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for n := range want {
+			unknown = append(unknown, n)
+		}
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("mutate: unknown operator(s) %v (catalog: %v)", unknown, OperatorNames())
+	}
+	return out, nil
+}
+
+// fingerprint is the short content hash identifying one canonical source.
+func fingerprint(src string) string {
+	h := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(h[:8])
+}

@@ -1,0 +1,146 @@
+package mutate
+
+import (
+	"strings"
+	"testing"
+
+	"achilles/internal/lang"
+	"achilles/internal/protocols/registry"
+
+	_ "achilles/internal/protocols" // register targets
+)
+
+func serverUnit(t *testing.T, name string) *lang.Unit {
+	t.Helper()
+	d, ok := registry.Lookup(name)
+	if !ok {
+		t.Fatalf("target %q not registered", name)
+	}
+	return d.Target().Server
+}
+
+func TestGenerateProducesCheckedMutants(t *testing.T) {
+	for _, target := range []string{"fsp", "kv", "raft"} {
+		t.Run(target, func(t *testing.T) {
+			u := serverUnit(t, target)
+			muts, stats, err := Generate(u, Options{})
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(muts) == 0 {
+				t.Fatalf("no mutants generated (stats %+v)", stats)
+			}
+			if stats.Kept != len(muts) {
+				t.Errorf("stats.Kept = %d, want %d", stats.Kept, len(muts))
+			}
+			orig := fingerprint(lang.Print(u.Source))
+			seenFP := map[string]string{}
+			seenID := map[string]bool{}
+			for _, m := range muts {
+				if m.Fingerprint == orig {
+					t.Errorf("%s: mutant identical to original", m.ID)
+				}
+				if prev, dup := seenFP[m.Fingerprint]; dup {
+					t.Errorf("%s: fingerprint collides with %s", m.ID, prev)
+				}
+				seenFP[m.Fingerprint] = m.ID
+				if seenID[m.ID] {
+					t.Errorf("duplicate mutant ID %s", m.ID)
+				}
+				seenID[m.ID] = true
+				// Every kept mutant must compile: the engine's contract.
+				if _, err := lang.Compile(m.Source); err != nil {
+					t.Errorf("%s does not compile: %v", m.ID, err)
+				}
+			}
+			t.Logf("%s: %d mutants from %d sites (%d identical, %d duplicate, %d compile-failed)",
+				target, stats.Kept, stats.Sites, stats.Identical, stats.Duplicate, stats.CompileFailed)
+		})
+	}
+}
+
+// TestGenerateDeterministic pins the incremental-campaign prerequisite: the
+// same unit yields the same mutants, in the same order, with the same IDs.
+func TestGenerateDeterministic(t *testing.T) {
+	u := serverUnit(t, "fsp")
+	a, _, err := Generate(u, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(serverUnit(t, "fsp"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Fingerprint != b[i].Fingerprint || a[i].Source != b[i].Source {
+			t.Fatalf("mutant %d differs across runs: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+func TestGenerateMaxInterleavesOperators(t *testing.T) {
+	u := serverUnit(t, "fsp")
+	muts, stats, err := Generate(u, Options{Max: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(muts) != 6 {
+		t.Fatalf("got %d mutants, want 6", len(muts))
+	}
+	if stats.Capped <= 0 {
+		t.Errorf("stats.Capped = %d, want > 0", stats.Capped)
+	}
+	ops := map[string]bool{}
+	for _, m := range muts {
+		ops[m.Operator] = true
+	}
+	// Round-robin sampling must keep operator diversity under a tight cap.
+	if len(ops) < 3 {
+		t.Errorf("cap 6 sampled only %d operator(s): %v", len(ops), ops)
+	}
+}
+
+func TestGenerateOperatorFilter(t *testing.T) {
+	u := serverUnit(t, "fsp")
+	muts, _, err := Generate(u, Options{Operators: []string{"swap-verdict"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range muts {
+		if m.Operator != "swap-verdict" {
+			t.Fatalf("operator filter leaked %s (%s)", m.Operator, m.ID)
+		}
+	}
+	if len(muts) == 0 {
+		t.Fatal("swap-verdict produced no mutants on fsp")
+	}
+}
+
+func TestGenerateUnknownOperator(t *testing.T) {
+	u := serverUnit(t, "fsp")
+	_, _, err := Generate(u, Options{Operators: []string{"no-such-op"}})
+	if err == nil || !strings.Contains(err.Error(), "no-such-op") {
+		t.Fatalf("err = %v, want unknown-operator error naming no-such-op", err)
+	}
+}
+
+func TestOperatorNames(t *testing.T) {
+	names := OperatorNames()
+	if len(names) < 7 {
+		t.Fatalf("catalog has %d operators, want >= 7: %v", len(names), names)
+	}
+	for _, want := range []string{"weaken-eq", "drop-conjunct", "off-by-one", "negate-guard", "drop-validation", "swap-verdict", "const-perturb"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("catalog missing operator %q (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package mutate
+
+import (
+	"fmt"
+
+	"achilles/internal/lang"
+)
+
+// A site is one applicable edit of one operator: a description for reports
+// and an apply closure bound to the AST it was enumerated on.
+type site struct {
+	desc  string
+	pos   lang.Pos
+	apply func()
+}
+
+// An operator enumerates every candidate edit of one semantic mutation
+// class over a parsed program. collect must be deterministic: two calls on
+// equal programs return the same sites in the same order (the engine
+// re-enumerates on a fresh parse per mutant and applies the i-th site).
+type operator struct {
+	name    string
+	summary string
+	collect func(p *lang.Program) []site
+}
+
+// The mutation catalog. Order matters: it fixes operator precedence in the
+// round-robin cap and the catalog listing in reports and docs.
+var catalog = []operator{
+	{
+		name:    "weaken-eq",
+		summary: "equality guards relaxed to one-sided bounds (== to >= / <=)",
+		collect: weakenEq,
+	},
+	{
+		name:    "drop-conjunct",
+		summary: "one operand of a && / || condition deleted",
+		collect: dropConjunct,
+	},
+	{
+		name:    "off-by-one",
+		summary: "comparison strictness toggled (< to <=, >= to >, ...)",
+		collect: offByOne,
+	},
+	{
+		name:    "negate-guard",
+		summary: "an if condition negated",
+		collect: negateGuard,
+	},
+	{
+		name:    "drop-validation",
+		summary: "an if statement guarding only reject()/exit() deleted",
+		collect: dropValidation,
+	},
+	{
+		name:    "swap-verdict",
+		summary: "accept() and reject() calls exchanged",
+		collect: swapVerdict,
+	},
+	{
+		name:    "const-perturb",
+		summary: "an integer constant or literal shifted by +-1",
+		collect: constPerturb,
+	},
+}
+
+// weakenEq relaxes every == comparison to >= and to <= — the classic
+// weakened-guard bug where a handler checks one side of an equality.
+func weakenEq(p *lang.Program) []site {
+	var sites []site
+	lang.VisitExprs(p, func(slot *lang.Expr) {
+		b, ok := (*slot).(*lang.BinaryExpr)
+		if !ok || b.Op != lang.TEq {
+			return
+		}
+		for _, to := range []lang.TokKind{lang.TGe, lang.TLe} {
+			b, to := b, to
+			sites = append(sites, site{
+				desc:  fmt.Sprintf("%s -> (%s %s %s)", lang.ExprString(b), lang.ExprString(b.X), to, lang.ExprString(b.Y)),
+				pos:   b.Pos_,
+				apply: func() { b.Op = to },
+			})
+		}
+	})
+	return sites
+}
+
+// dropConjunct deletes one operand of every && and || — a validation
+// condition that forgot half of what it must check.
+func dropConjunct(p *lang.Program) []site {
+	var sites []site
+	lang.VisitExprs(p, func(slot *lang.Expr) {
+		b, ok := (*slot).(*lang.BinaryExpr)
+		if !ok || (b.Op != lang.TAnd && b.Op != lang.TOr) {
+			return
+		}
+		for _, keep := range []struct {
+			side string
+			expr lang.Expr
+		}{{"left", b.X}, {"right", b.Y}} {
+			slot, keep := slot, keep
+			sites = append(sites, site{
+				desc:  fmt.Sprintf("%s -> %s (%s kept)", lang.ExprString(b), lang.ExprString(keep.expr), keep.side),
+				pos:   b.Pos_,
+				apply: func() { *slot = keep.expr },
+			})
+		}
+	})
+	return sites
+}
+
+// offByOne toggles the strictness of every ordering comparison: < <-> <=
+// and > <-> >= — boundary checks off by exactly one.
+func offByOne(p *lang.Program) []site {
+	toggle := map[lang.TokKind]lang.TokKind{
+		lang.TLt: lang.TLe, lang.TLe: lang.TLt,
+		lang.TGt: lang.TGe, lang.TGe: lang.TGt,
+	}
+	var sites []site
+	lang.VisitExprs(p, func(slot *lang.Expr) {
+		b, ok := (*slot).(*lang.BinaryExpr)
+		if !ok {
+			return
+		}
+		to, ok := toggle[b.Op]
+		if !ok {
+			return
+		}
+		b, from := b, b.Op
+		sites = append(sites, site{
+			desc:  fmt.Sprintf("%s: %s -> %s", lang.ExprString(b), from, to),
+			pos:   b.Pos_,
+			apply: func() { b.Op = to },
+		})
+	})
+	return sites
+}
+
+// negateGuard inverts every if condition — the guard that fires exactly
+// when it should not.
+func negateGuard(p *lang.Program) []site {
+	var sites []site
+	lang.VisitStmtLists(p, func(list *[]lang.Stmt) {
+		for _, s := range *list {
+			ifs, ok := s.(*lang.IfStmt)
+			if !ok {
+				continue
+			}
+			sites = append(sites, site{
+				desc:  fmt.Sprintf("if %s -> if !(%s)", lang.ExprString(ifs.Cond), lang.ExprString(ifs.Cond)),
+				pos:   ifs.Pos_,
+				apply: func() { ifs.Cond = &lang.UnaryExpr{Pos_: ifs.Pos_, Op: lang.TNot, X: ifs.Cond} },
+			})
+		}
+	})
+	return sites
+}
+
+// dropValidation deletes every if statement (without else) whose body only
+// rejects or exits — a validation clause that was never written.
+func dropValidation(p *lang.Program) []site {
+	var sites []site
+	lang.VisitStmtLists(p, func(list *[]lang.Stmt) {
+		for i, s := range *list {
+			ifs, ok := s.(*lang.IfStmt)
+			if !ok || ifs.Else != nil || len(ifs.Then) == 0 || !allTerminalRejects(ifs.Then) {
+				continue
+			}
+			list, i := list, i
+			sites = append(sites, site{
+				desc: fmt.Sprintf("drop validation: if %s { ... }", lang.ExprString(ifs.Cond)),
+				pos:  ifs.Pos_,
+				apply: func() {
+					rest := append([]lang.Stmt{}, (*list)[:i]...)
+					*list = append(rest, (*list)[i+1:]...)
+				},
+			})
+		}
+	})
+	return sites
+}
+
+// allTerminalRejects reports whether every statement is a reject() or
+// exit() call — the body shape of a pure validation guard.
+func allTerminalRejects(list []lang.Stmt) bool {
+	for _, s := range list {
+		es, ok := s.(*lang.ExprStmt)
+		if !ok || (es.Call.Name != "reject" && es.Call.Name != "exit") {
+			return false
+		}
+	}
+	return true
+}
+
+// swapVerdict exchanges accept() and reject() calls — the branch that
+// admits what it must refuse (and vice versa).
+func swapVerdict(p *lang.Program) []site {
+	var sites []site
+	lang.VisitStmtLists(p, func(list *[]lang.Stmt) {
+		for _, s := range *list {
+			es, ok := s.(*lang.ExprStmt)
+			if !ok {
+				continue
+			}
+			var to string
+			switch es.Call.Name {
+			case "accept":
+				to = "reject"
+			case "reject":
+				to = "accept"
+			default:
+				continue
+			}
+			call, from := es.Call, es.Call.Name
+			sites = append(sites, site{
+				desc:  fmt.Sprintf("%s() -> %s()", from, to),
+				pos:   call.Pos_,
+				apply: func() { call.Name = to },
+			})
+		}
+	})
+	return sites
+}
+
+// constPerturb shifts every named constant and integer literal by +-1 —
+// wrong lengths, wrong command codes, wrong bounds.
+func constPerturb(p *lang.Program) []site {
+	var sites []site
+	for _, c := range p.Consts {
+		for _, d := range []int64{1, -1} {
+			c, d := c, d
+			sites = append(sites, site{
+				desc:  fmt.Sprintf("const %s = %d -> %d", c.Name, c.Val, c.Val+d),
+				pos:   c.Pos,
+				apply: func() { c.Val += d },
+			})
+		}
+	}
+	lang.VisitExprs(p, func(slot *lang.Expr) {
+		lit, ok := (*slot).(*lang.IntLit)
+		if !ok {
+			return
+		}
+		for _, d := range []int64{1, -1} {
+			lit, d := lit, d
+			sites = append(sites, site{
+				desc:  fmt.Sprintf("literal %d -> %d", lit.Val, lit.Val+d),
+				pos:   lit.Pos_,
+				apply: func() { lit.Val += d },
+			})
+		}
+	})
+	return sites
+}

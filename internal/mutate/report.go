@@ -1,0 +1,242 @@
+package mutate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Outcome classifies what the detector did with one mutant.
+type Outcome string
+
+// Mutant classifications. Detected means at least one new Trojan class
+// appeared relative to the unmutated baseline job; Equivalent means the
+// class set is byte-identical; Escaped means the class set changed (classes
+// disappeared or their examples moved) without any new class appearing —
+// the injected bug did not surface as a Trojan; Failed means the mutant's
+// analysis errored.
+const (
+	Detected   Outcome = "detected"
+	Equivalent Outcome = "equivalent"
+	Escaped    Outcome = "escaped"
+	Failed     Outcome = "failed"
+)
+
+// Tally counts mutant outcomes. Recall is detected / (detected + escaped):
+// equivalent mutants cannot be detected by any behavioural test and failed
+// mutants yielded no verdict, so both are excluded from the denominator
+// (standard mutation-score accounting).
+type Tally struct {
+	Generated  int     `json:"generated"`
+	Detected   int     `json:"detected"`
+	Equivalent int     `json:"equivalent"`
+	Escaped    int     `json:"escaped"`
+	Failed     int     `json:"failed"`
+	Recall     float64 `json:"recall"`
+}
+
+func (t *Tally) add(o Outcome) {
+	t.Generated++
+	switch o {
+	case Detected:
+		t.Detected++
+	case Equivalent:
+		t.Equivalent++
+	case Escaped:
+		t.Escaped++
+	case Failed:
+		t.Failed++
+	}
+}
+
+func (t *Tally) finish() {
+	if n := t.Detected + t.Escaped; n > 0 {
+		t.Recall = float64(t.Detected) / float64(n)
+	} else {
+		t.Recall = 1
+	}
+}
+
+// OperatorTally is one operator's outcome counts.
+type OperatorTally struct {
+	Operator string `json:"operator"`
+	Tally
+}
+
+// MutantOutcome is the per-mutant triage record: the classification plus
+// the evidence behind it (diff counts, truncation, error), in the style of
+// a findings report where every verdict carries its justification.
+type MutantOutcome struct {
+	ID       string  `json:"id"`
+	Operator string  `json:"operator"`
+	Site     string  `json:"site"`
+	Outcome  Outcome `json:"outcome"`
+	// Appeared / Disappeared / Changed are the class-level diff counts
+	// against the unmutated baseline job.
+	Appeared    int `json:"appeared,omitempty"`
+	Disappeared int `json:"disappeared,omitempty"`
+	Changed     int `json:"changed,omitempty"`
+	// Truncated flags a mutant whose exploration hit the mutant budget
+	// clamps; its classification is a lower bound (a new class may exist
+	// beyond the cut).
+	Truncated bool   `json:"truncated,omitempty"`
+	Error     string `json:"error,omitempty"`
+	WallMS    int64  `json:"wall_ms"`
+}
+
+// PrecisionReport triages the detector's findings on the UNMUTATED baseline
+// target against the registry's ground-truth oracle: a finding is valid
+// when the oracle confirms the concrete example is a Trojan in the job's
+// state world. Score is valid/reported — the detector's precision on known
+// ground truth.
+type PrecisionReport struct {
+	Reported int     `json:"reported"`
+	Valid    int     `json:"valid"`
+	Invalid  int     `json:"invalid"`
+	Score    float64 `json:"score"`
+	// InvalidClasses lists the class lines the oracle rejected — the
+	// evidence for every invalid verdict (empty on a precise detector).
+	InvalidClasses []string `json:"invalid_classes,omitempty"`
+}
+
+// TargetReport is the recall/precision result for one base target.
+type TargetReport struct {
+	Target string `json:"target"`
+	// BaselineClasses is the unmutated target's Trojan class count.
+	BaselineClasses int `json:"baseline_classes"`
+	// SeededTrojans records whether the registry descriptor promises
+	// hand-seeded vulnerabilities; SeededDetected whether the baseline run
+	// actually found (oracle-validated) Trojans. SeededTrojans &&
+	// !SeededDetected is a false negative on a known bug.
+	SeededTrojans  bool             `json:"seeded_trojans"`
+	SeededDetected bool             `json:"seeded_detected"`
+	Precision      *PrecisionReport `json:"precision,omitempty"`
+	Tally          Tally            `json:"tally"`
+	Operators      []OperatorTally  `json:"operators"`
+	Mutants        []MutantOutcome  `json:"mutants"`
+}
+
+// RecallReport is the machine-readable result of one mutation campaign —
+// the standing recall/precision experiment.
+type RecallReport struct {
+	Version string         `json:"version"` // mutate.Version
+	Mode    string         `json:"mode"`
+	Jobs    int            `json:"jobs"`
+	Targets []TargetReport `json:"targets"`
+	Total   Tally          `json:"total"`
+	// EscapedByOperator aggregates escaped mutants across targets — every
+	// entry names a mutation class the detector misses today.
+	EscapedByOperator []OperatorTally `json:"escaped_by_operator,omitempty"`
+	// CachedJobs counts campaign jobs reused verbatim from the incremental
+	// baseline bundle (provenance; 0 on a cold run).
+	CachedJobs int   `json:"cached_jobs,omitempty"`
+	WallMS     int64 `json:"wall_ms"`
+}
+
+// finish recomputes every aggregate from the per-mutant outcomes.
+func (r *RecallReport) finish() {
+	r.Total = Tally{}
+	escaped := map[string]*OperatorTally{}
+	for ti := range r.Targets {
+		tr := &r.Targets[ti]
+		tr.Tally = Tally{}
+		ops := map[string]*OperatorTally{}
+		var opOrder []string
+		for _, m := range tr.Mutants {
+			tr.Tally.add(m.Outcome)
+			r.Total.add(m.Outcome)
+			ot, ok := ops[m.Operator]
+			if !ok {
+				ot = &OperatorTally{Operator: m.Operator}
+				ops[m.Operator] = ot
+				opOrder = append(opOrder, m.Operator)
+			}
+			ot.add(m.Outcome)
+			if m.Outcome == Escaped {
+				et, ok := escaped[m.Operator]
+				if !ok {
+					et = &OperatorTally{Operator: m.Operator}
+					escaped[m.Operator] = et
+				}
+				et.add(m.Outcome)
+			}
+		}
+		tr.Tally.finish()
+		tr.Operators = tr.Operators[:0]
+		for _, name := range opOrder {
+			ops[name].finish()
+			tr.Operators = append(tr.Operators, *ops[name])
+		}
+	}
+	r.Total.finish()
+	r.EscapedByOperator = r.EscapedByOperator[:0]
+	names := make([]string, 0, len(escaped))
+	for n := range escaped {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		escaped[n].finish()
+		r.EscapedByOperator = append(r.EscapedByOperator, *escaped[n])
+	}
+}
+
+// FalseNegatives lists base targets whose hand-seeded ground-truth Trojans
+// were NOT detected — empty on a healthy detector, and the condition CI
+// gates on.
+func (r *RecallReport) FalseNegatives() []string {
+	var out []string
+	for _, t := range r.Targets {
+		if t.SeededTrojans && !t.SeededDetected {
+			out = append(out, t.Target)
+		}
+	}
+	return out
+}
+
+// Render prints the report as the standing experiment table plus the
+// escaped-mutant detail — the rows EXPERIMENTS.md pins.
+func (r *RecallReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mutation recall (mode %s, -j %d", r.Mode, r.Jobs)
+	if r.CachedJobs > 0 {
+		fmt.Fprintf(&b, ", %d job(s) cached", r.CachedJobs)
+	}
+	fmt.Fprintf(&b, ", %d ms)\n", r.WallMS)
+	fmt.Fprintf(&b, "%-10s %9s %8s %10s %7s %6s %6s %9s %6s\n",
+		"target", "generated", "detected", "equivalent", "escaped", "failed", "recall", "precision", "seeded")
+	row := func(name string, t Tally, prec string, seeded string) {
+		fmt.Fprintf(&b, "%-10s %9d %8d %10d %7d %6d %6.2f %9s %6s\n",
+			name, t.Generated, t.Detected, t.Equivalent, t.Escaped, t.Failed, t.Recall, prec, seeded)
+	}
+	for _, t := range r.Targets {
+		prec, seeded := "-", "-"
+		if t.Precision != nil {
+			prec = fmt.Sprintf("%.2f", t.Precision.Score)
+		}
+		if t.SeededTrojans {
+			if t.SeededDetected {
+				seeded = "found"
+			} else {
+				seeded = "MISSED"
+			}
+		}
+		row(t.Target, t.Tally, prec, seeded)
+	}
+	row("total", r.Total, "-", "-")
+	if len(r.EscapedByOperator) > 0 {
+		b.WriteString("escaped mutation classes by operator:\n")
+		for _, ot := range r.EscapedByOperator {
+			fmt.Fprintf(&b, "  %-16s %d escaped\n", ot.Operator, ot.Escaped)
+		}
+		for _, t := range r.Targets {
+			for _, m := range t.Mutants {
+				if m.Outcome == Escaped {
+					fmt.Fprintf(&b, "  %s/%s: %s (classes: +%d -%d ~%d)\n",
+						t.Target, m.ID, m.Site, m.Appeared, m.Disappeared, m.Changed)
+				}
+			}
+		}
+	}
+	return b.String()
+}

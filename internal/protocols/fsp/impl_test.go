@@ -1,7 +1,7 @@
 package fsp
 
 import (
-	"strings"
+	"errors"
 	"testing"
 )
 
@@ -208,9 +208,12 @@ func TestUDPTransport(t *testing.T) {
 	if string(reply) != "payload" {
 		t.Fatalf("got %q", reply)
 	}
-	// Errors travel back too.
-	if _, err := c.Send(Encode(byte(cmdCode("get_file")), []byte("missing"))); err == nil ||
-		!strings.Contains(err.Error(), "not found") {
-		t.Fatalf("want not-found error, got %v", err)
+	// Errors travel back too, and keep their sentinel identity across the
+	// wire: the client maps "ERR <msg>" replies back to the typed errors.
+	if _, err := c.Send(Encode(byte(cmdCode("get_file")), []byte("missing"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if _, err := c.Send([]byte{1, 2, 3}); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("want ErrBadPacket, got %v", err)
 	}
 }

@@ -3,6 +3,7 @@ package fsp
 import (
 	"fmt"
 	"net"
+	"strings"
 	"time"
 )
 
@@ -61,6 +62,21 @@ func (us *UDPServer) loop() {
 	}
 }
 
+// wireError reconstructs the server-side sentinel from the message text of
+// an "ERR <msg>" wire reply. Handle returns its sentinels bare or wrapped
+// with the sentinel first ("fsp: malformed packet: bb_len 9"), so the wire
+// text always starts with the sentinel's message; mapping it back lets
+// callers on the far side of the UDP transport still match the typed errors
+// with errors.Is instead of grepping reply strings.
+func wireError(msg string) error {
+	for _, sentinel := range []error{ErrNotFound, ErrExists, ErrBadPacket, ErrBadCommand} {
+		if rest, ok := strings.CutPrefix(msg, sentinel.Error()); ok {
+			return fmt.Errorf("fsp: server error: %w%s", sentinel, rest)
+		}
+	}
+	return fmt.Errorf("fsp: server error: %s", msg)
+}
+
 // UDPClient returns a Client that talks to a UDP FSP server.
 func UDPClient(addr string) (*Client, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
@@ -86,7 +102,7 @@ func UDPClient(addr string) (*Client, error) {
 		}
 		reply := buf[:n]
 		if len(reply) >= 4 && string(reply[:4]) == "ERR " {
-			return nil, fmt.Errorf("fsp: server error: %s", reply[4:])
+			return nil, wireError(string(reply[4:]))
 		}
 		if len(reply) >= 3 && string(reply[:3]) == "OK " {
 			return reply[3:], nil

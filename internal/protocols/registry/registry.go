@@ -198,6 +198,37 @@ func FireDrillNames() []string {
 	return out
 }
 
+// Derive returns a campaign-local variant of d: the same protocol
+// scaffolding (analysis defaults, local-state world, message layout via the
+// base Target), but with the built target transformed — the mutation engine
+// derives one descriptor per generated server mutant this way. The derived
+// descriptor keeps its own synthetic identity: InputFingerprint hashes the
+// transformed target's canonical NL sources, so two variants differ in
+// fingerprint exactly when their models differ.
+//
+// The ground-truth oracle, concrete-impl replay and fuzz spec are
+// deliberately dropped: they describe the unmutated protocol and would lie
+// about a variant. ExpectTrojans is false for the same reason. Derived
+// descriptors are not registered globally — pass them to a campaign via
+// campaign.Options.Extra.
+func (d Descriptor) Derive(name, summary string, transform func(core.Target) core.Target) Descriptor {
+	base := d.Target
+	return Descriptor{
+		Name:    name,
+		Summary: summary,
+		Target: func() core.Target {
+			t := base()
+			t.Name = name
+			if transform != nil {
+				t = transform(t)
+			}
+			return t
+		},
+		Analysis:     d.Analysis,
+		DefaultState: d.DefaultState,
+	}
+}
+
 // stateOrDefault resolves the effective state world for a descriptor.
 func (d Descriptor) stateOrDefault(st State) State {
 	if st == nil {

@@ -163,3 +163,48 @@ func TestMustLookupPanicsWithNames(t *testing.T) {
 	}()
 	MustLookup("definitely-not-registered")
 }
+
+func TestDerive(t *testing.T) {
+	base := testDescriptor("derive-base")
+	const mutSrc = `
+var msg [2]int;
+func main() {
+	recv(msg);
+	accept();
+}`
+	d := base.Derive("derive-base+m1", "mutant", func(t core.Target) core.Target {
+		t.Server = lang.MustCompile(mutSrc)
+		t.ServerExec.MaxSteps = 128
+		return t
+	})
+	if d.Name != "derive-base+m1" || d.Summary != "mutant" {
+		t.Fatalf("identity not applied: %+v", d)
+	}
+	tgt := d.Target()
+	if tgt.Name != "derive-base+m1" {
+		t.Errorf("target name %q, want derived name", tgt.Name)
+	}
+	if tgt.ServerExec.MaxSteps != 128 {
+		t.Errorf("transform not applied: MaxSteps = %d", tgt.ServerExec.MaxSteps)
+	}
+	// The base oracle, replay and fuzz spec describe the unmutated protocol
+	// and must not survive derivation.
+	if d.IsTrojan != nil || d.ImplAccepts != nil || d.Fuzz != nil || d.ExpectTrojans {
+		t.Error("derived descriptor kept base oracle/replay/fuzz surface")
+	}
+	// Derived identity is synthetic: a changed model changes the
+	// fingerprint, and an identity derivation (same name, no transform)
+	// keeps it byte for byte.
+	same := base.Derive("derive-base", "no-op", nil)
+	if got, want := same.InputFingerprint(core.ModeOptimized), base.InputFingerprint(core.ModeOptimized); got != want {
+		t.Errorf("identity transform changed fingerprint: %s vs %s", got, want)
+	}
+	if got := d.InputFingerprint(core.ModeOptimized); got == base.InputFingerprint(core.ModeOptimized) {
+		t.Error("mutated model kept the base fingerprint")
+	}
+	// The base target is rebuilt per call — deriving must not leak the
+	// transform back into the base.
+	if base.Target().ServerExec.MaxSteps == 128 {
+		t.Error("transform leaked into the base target")
+	}
+}
