@@ -1,0 +1,167 @@
+// Command benchguard compares fresh BENCH_<exp>.json reports (written by
+// benchtab -json) against committed baselines and fails when a guarded
+// metric regresses. It is the CI gate of the bench trajectory: wall-clock
+// metrics are informational (host-dependent), but the guarded search-space
+// counters — solver queries, decisions, splits, class counts — are
+// deterministic at -j 1, so a regression there is a real change in how much
+// work the analysis does, not measurement noise.
+//
+// Usage:
+//
+//	benchguard [-tolerance 0.25] -base DIR -new DIR
+//
+// Every BENCH_*.json in -new is compared against the same-named file in
+// -base. A guarded metric regresses when it moves against its direction by
+// more than the tolerance (exact metrics must match bit-for-bit). A report
+// with no baseline counterpart passes with a note — that is how a new
+// experiment starts its trajectory. Exit codes: 0 clean, 1 regression,
+// 2 usage error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"achilles/internal/experiments"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind flag parsing; tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional regression for guarded metrics")
+	baseDir := fs.String("base", "", "directory holding baseline BENCH_*.json files")
+	newDir := fs.String("new", "", "directory holding freshly generated BENCH_*.json files")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *baseDir == "" || *newDir == "" || *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchguard: -base and -new are required and -tolerance must be >= 0")
+		fs.Usage()
+		return 2
+	}
+	fresh, err := filepath.Glob(filepath.Join(*newDir, "BENCH_*.json"))
+	if err != nil || len(fresh) == 0 {
+		fmt.Fprintf(stderr, "benchguard: no BENCH_*.json files in %s\n", *newDir)
+		return 2
+	}
+	sort.Strings(fresh)
+
+	failed := false
+	for _, path := range fresh {
+		name := filepath.Base(path)
+		cur, err := readReport(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %s: %v\n", name, err)
+			return 2
+		}
+		basePath := filepath.Join(*baseDir, name)
+		base, err := readReport(basePath)
+		if os.IsNotExist(err) {
+			fmt.Fprintf(stdout, "benchguard: %s: no baseline yet, starting trajectory\n", name)
+			continue
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "benchguard: %s: %v\n", basePath, err)
+			return 2
+		}
+		violations := compareReports(base, cur, *tolerance)
+		if len(violations) == 0 {
+			fmt.Fprintf(stdout, "benchguard: %s: ok (%d guarded metrics)\n", name, guardedCount(cur))
+			continue
+		}
+		failed = true
+		for _, v := range violations {
+			fmt.Fprintf(stderr, "benchguard: %s: %s\n", name, v)
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func readReport(path string) (experiments.BenchReport, error) {
+	var r experiments.BenchReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func guardedCount(r experiments.BenchReport) int {
+	n := 0
+	for _, m := range r.Metrics {
+		if m.Guard {
+			n++
+		}
+	}
+	return n
+}
+
+// compareReports checks every guarded metric of cur against base and returns
+// the violations, in metric order. Baselines from a different solver
+// revision are not comparable: the guarded counters measure that revision's
+// decision procedure, so a version change is itself reported (regenerate the
+// baseline in the same change that bumps the version).
+func compareReports(base, cur experiments.BenchReport, tolerance float64) []string {
+	if base.SolverVersion != cur.SolverVersion {
+		return []string{fmt.Sprintf(
+			"solver version changed (%s -> %s): regenerate the committed baseline in this change",
+			base.SolverVersion, cur.SolverVersion)}
+	}
+	var out []string
+	for _, m := range cur.Metrics {
+		if !m.Guard {
+			continue
+		}
+		bm, ok := base.Metric(m.Name)
+		if !ok {
+			// New guarded metric: nothing to regress against yet.
+			continue
+		}
+		if m.Exact {
+			if m.Value != bm.Value {
+				out = append(out, fmt.Sprintf(
+					"%s changed: %g -> %g (exact metric must match the baseline)",
+					m.Name, bm.Value, m.Value))
+			}
+			continue
+		}
+		if regressed(bm.Value, m.Value, m.HigherIsBetter, tolerance) {
+			dir := "rose"
+			if m.HigherIsBetter {
+				dir = "fell"
+			}
+			out = append(out, fmt.Sprintf(
+				"%s %s beyond tolerance: %g -> %g (allowed %.0f%%)",
+				m.Name, dir, bm.Value, m.Value, tolerance*100))
+		}
+	}
+	return out
+}
+
+// regressed reports whether value moved against its direction by more than
+// the tolerance fraction of the baseline.
+func regressed(base, value float64, higherIsBetter bool, tolerance float64) bool {
+	if higherIsBetter {
+		return value < base*(1-tolerance)
+	}
+	if base == 0 {
+		return value > 0
+	}
+	return value > base*(1+tolerance)
+}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"achilles/internal/experiments"
+)
+
+func report(version string, metrics ...experiments.Metric) experiments.BenchReport {
+	return experiments.BenchReport{Experiment: "test", SolverVersion: version, Metrics: metrics}
+}
+
+func guarded(name string, value float64) experiments.Metric {
+	return experiments.Metric{Name: name, Value: value, Unit: "u", Guard: true}
+}
+
+func exact(name string, value float64) experiments.Metric {
+	return experiments.Metric{Name: name, Value: value, Unit: "u", Guard: true, Exact: true}
+}
+
+func info(name string, value float64) experiments.Metric {
+	return experiments.Metric{Name: name, Value: value, Unit: "ms"}
+}
+
+func TestCompareReports(t *testing.T) {
+	const v = "solver/2"
+	cases := []struct {
+		name       string
+		base, cur  experiments.BenchReport
+		tolerance  float64
+		violations int
+		contains   string
+	}{
+		{
+			name: "clean",
+			base: report(v, guarded("decisions", 1000), exact("classes", 80), info("wall_ms", 500)),
+			cur:  report(v, guarded("decisions", 1100), exact("classes", 80), info("wall_ms", 9999)),
+		},
+		{
+			name:       "counter regression beyond 25%",
+			base:       report(v, guarded("decisions", 1000)),
+			cur:        report(v, guarded("decisions", 1300)),
+			violations: 1,
+			contains:   "decisions rose",
+		},
+		{
+			name: "counter improvement is fine",
+			base: report(v, guarded("decisions", 1000)),
+			cur:  report(v, guarded("decisions", 10)),
+		},
+		{
+			name:       "exact metric must match even within tolerance",
+			base:       report(v, exact("classes", 80)),
+			cur:        report(v, exact("classes", 81)),
+			violations: 1,
+			contains:   "classes changed",
+		},
+		{
+			name:       "exact metric catches drops too",
+			base:       report(v, exact("classes", 80)),
+			cur:        report(v, exact("classes", 60)),
+			violations: 1,
+		},
+		{
+			name: "higher-is-better direction",
+			base: report(v, experiments.Metric{Name: "recall", Value: 0.9, Guard: true, HigherIsBetter: true}),
+			cur:  report(v, experiments.Metric{Name: "recall", Value: 0.5, Guard: true, HigherIsBetter: true}),
+
+			violations: 1,
+			contains:   "recall fell",
+		},
+		{
+			name: "higher-is-better within tolerance",
+			base: report(v, experiments.Metric{Name: "recall", Value: 0.9, Guard: true, HigherIsBetter: true}),
+			cur:  report(v, experiments.Metric{Name: "recall", Value: 0.8, Guard: true, HigherIsBetter: true}),
+		},
+		{
+			name:       "zero baseline grows",
+			base:       report(v, guarded("unknowns", 0)),
+			cur:        report(v, guarded("unknowns", 3)),
+			violations: 1,
+		},
+		{
+			name: "unguarded wall-clock ignored",
+			base: report(v, info("wall_ms", 100)),
+			cur:  report(v, info("wall_ms", 100000)),
+		},
+		{
+			name: "new guarded metric starts its trajectory",
+			base: report(v, guarded("decisions", 1000)),
+			cur:  report(v, guarded("decisions", 1000), guarded("splits", 50)),
+		},
+		{
+			name:       "solver version change blocks comparison",
+			base:       report("solver/1", guarded("decisions", 1000)),
+			cur:        report("solver/2", guarded("decisions", 1000)),
+			violations: 1,
+			contains:   "solver version changed",
+		},
+		{
+			name:      "custom tolerance",
+			base:      report(v, guarded("decisions", 1000)),
+			cur:       report(v, guarded("decisions", 1400)),
+			tolerance: 0.5,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tol := tc.tolerance
+			if tol == 0 {
+				tol = 0.25
+			}
+			got := compareReports(tc.base, tc.cur, tol)
+			if len(got) != tc.violations {
+				t.Fatalf("got %d violations %v, want %d", len(got), got, tc.violations)
+			}
+			if tc.contains != "" && !strings.Contains(strings.Join(got, "\n"), tc.contains) {
+				t.Errorf("violations %v do not mention %q", got, tc.contains)
+			}
+		})
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, r experiments.BenchReport) {
+	t.Helper()
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunExitCodes drives the full program over real files: clean compare,
+// regression, missing baseline (trajectory start) and usage errors.
+func TestRunExitCodes(t *testing.T) {
+	const v = "solver/2"
+	base, fresh := t.TempDir(), t.TempDir()
+	writeReport(t, base, "BENCH_speedup.json", report(v, guarded("decisions", 1000), exact("classes", 80)))
+	writeReport(t, fresh, "BENCH_speedup.json", report(v, guarded("decisions", 900), exact("classes", 80)))
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-base", base, "-new", fresh}, &out, &errb); code != 0 {
+		t.Fatalf("clean compare: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "ok (2 guarded metrics)") {
+		t.Errorf("clean compare output unexpected:\n%s", out.String())
+	}
+
+	// Regression: decisions blow past 25%.
+	writeReport(t, fresh, "BENCH_speedup.json", report(v, guarded("decisions", 2000), exact("classes", 80)))
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-base", base, "-new", fresh}, &out, &errb); code != 1 {
+		t.Fatalf("regression: exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "decisions rose") {
+		t.Errorf("regression message missing:\n%s", errb.String())
+	}
+
+	// A fresh experiment with no baseline passes and says so.
+	writeReport(t, fresh, "BENCH_speedup.json", report(v, guarded("decisions", 1000), exact("classes", 80)))
+	writeReport(t, fresh, "BENCH_newexp.json", report(v, guarded("decisions", 5)))
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-base", base, "-new", fresh}, &out, &errb); code != 0 {
+		t.Fatalf("trajectory start: exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no baseline yet") {
+		t.Errorf("trajectory-start note missing:\n%s", out.String())
+	}
+
+	// Usage errors.
+	for _, args := range [][]string{
+		{},
+		{"-base", base},
+		{"-new", fresh},
+		{"-base", base, "-new", t.TempDir()}, // no BENCH files
+		{"-base", base, "-new", fresh, "-tolerance", "-1"},
+	} {
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+
+	// Corrupt JSON is a hard error, not a silent pass.
+	if err := os.WriteFile(filepath.Join(fresh, "BENCH_newexp.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-base", base, "-new", fresh}, &out, &errb); code != 2 {
+		t.Errorf("corrupt report: exit %d, want 2", code)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|firsttrojan|recall|all [-j N] [-target NAME] [-mutants N]
+//	benchtab -exp table1|fig10|fig11|fuzz|fuzzbase|phases|ablation|pbft|macattack|wildcard|speedup|sweep|campaign|incremental|firsttrojan|recall|all [-j N] [-target NAME] [-mutants N] [-json] [-out DIR]
 //
 // -j bounds the worker counts tried by the speedup and campaign experiments
 // (powers of two up to N; default: all CPUs) and drives the sweep, the
@@ -13,12 +13,18 @@
 // fuzzable one). -mutants caps generated mutants per target for the recall
 // experiment (0 = every mutation site). An invalid -j or unknown experiment
 // is a usage error (exit 2).
+//
+// -json additionally writes machine-readable results as BENCH_<exp>.json
+// (into -out, default the current directory) for the experiments that
+// support it (speedup, campaign); cmd/benchguard compares such files
+// against the committed baselines. The text table still prints.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 
 	"achilles/internal/experiments"
@@ -30,6 +36,8 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "max parallelism for the speedup experiment")
 	target := flag.String("target", "all", "registry target for the fuzzbase experiment")
 	mutants := flag.Int("mutants", 0, "mutant cap per target for the recall experiment (0 = every site)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<exp>.json files for reporting experiments")
+	outDir := flag.String("out", ".", "directory for -json output files")
 	flag.Parse()
 
 	if *jobs < 1 {
@@ -46,6 +54,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchtab: invalid -fuzz-tests %d (must be >= 1)\n", *fuzzTests)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// writeReport persists one experiment's machine-readable result when
+	// -json is set.
+	writeReport := func(name string, rep experiments.BenchReport, err error) error {
+		if !*jsonOut {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		data, err := rep.Marshal()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "benchtab: wrote %s\n", path)
+		return nil
 	}
 
 	matched := false
@@ -137,6 +166,10 @@ func main() {
 		if err != nil {
 			return "", err
 		}
+		rep, err := s.Report()
+		if err := writeReport("speedup", rep, err); err != nil {
+			return "", err
+		}
 		return s.Render(), nil
 	})
 	run("fuzzbase", func() (string, error) {
@@ -160,6 +193,10 @@ func main() {
 		}
 		c, err := experiments.RunCampaignScaling(levels)
 		if err != nil {
+			return "", err
+		}
+		rep, err := c.Report()
+		if err := writeReport("campaign", rep, err); err != nil {
 			return "", err
 		}
 		return c.Render(), nil

@@ -1,0 +1,63 @@
+package campaign
+
+import (
+	"testing"
+)
+
+// TestCampaignRaceStress is the standing guard for the rare data race once
+// reported by CI's race job against a campaign worker goroutine (the trace
+// was lost and some forty instrumented re-runs never reproduced it; code
+// review found no unsynchronized shared state in the campaign layer). The
+// guard re-runs a small multi-target campaign 50 times at -j 8 — worker pool
+// contention, shared solver, budget splitting, all under whatever scheduler
+// jitter the host provides — so that if the race still exists, the -race CI
+// job gets repeated chances to capture a full trace. It also pins
+// determinism: every iteration must produce the same class fingerprints.
+//
+// Skipped under -short: at 50 iterations it is a stress guard for the race
+// job, not a unit test.
+func TestCampaignRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress guard: skipped under -short (run by the -race CI job)")
+	}
+	const iterations = 50
+	var want map[string][]string
+	for i := 0; i < iterations; i++ {
+		b, err := Run(Options{Targets: []string{"kv", "kv-fixed", "pbft"}, Jobs: 8})
+		if err != nil {
+			t.Fatalf("iteration %d: campaign failed: %v", i, err)
+		}
+		got := map[string][]string{}
+		for key, reps := range b.Reports {
+			for _, r := range reps {
+				got[key] = append(got[key], r.Fingerprint)
+			}
+		}
+		for _, rm := range b.Manifest.Runs {
+			if rm.Error != "" {
+				t.Fatalf("iteration %d: job %s failed: %s", i, rm.Key(), rm.Error)
+			}
+			if rm.Truncated {
+				t.Fatalf("iteration %d: job %s truncated", i, rm.Key())
+			}
+		}
+		if i == 0 {
+			want = got
+			continue
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iteration %d: %d report streams, want %d", i, len(got), len(want))
+		}
+		for key, fps := range want {
+			gfps := got[key]
+			if len(gfps) != len(fps) {
+				t.Fatalf("iteration %d: job %s has %d classes, want %d", i, key, len(gfps), len(fps))
+			}
+			for j := range fps {
+				if gfps[j] != fps[j] {
+					t.Fatalf("iteration %d: job %s class %d fingerprint drift: %s != %s", i, key, j, gfps[j], fps[j])
+				}
+			}
+		}
+	}
+}

@@ -271,7 +271,7 @@ func AnalyzeServerCtx(ctx context.Context, server *lang.Unit, pc *ClientPredicat
 			a.mu.Lock()
 			a.res.AcceptingStates++
 			a.mu.Unlock()
-			live := a.liveFromScratch(st.Path)
+			live := a.liveFromScratch(st.SolverPrefix(), st.Path)
 			a.reportIfTrojan(st, live)
 		})
 		// A first-trojan stop (or a cancel) during phase B leaves accepting
@@ -396,8 +396,16 @@ func (a *analysis) ensureData(st *symexec.State) *liveData {
 }
 
 // triggerable asks whether client path i can still trigger the server path.
-func (a *analysis) triggerable(serverPath []*expr.Expr, i int) bool {
+// pfx, when non-nil, is the server path's incremental solver handle — the
+// query then goes through the prefix fast path, which reuses the path's
+// flattened form and propagation fixpoint (verdicts, models and cache keys
+// are identical to the materialised query; see solver.CheckPrefixAllCtx).
+func (a *analysis) triggerable(pfx *solver.Prefix, serverPath []*expr.Expr, i int) bool {
 	cp := a.pc.Paths[i]
+	if pfx != nil {
+		res, _ := a.sol.CheckPrefixAllCtx(a.runCtx, pfx, cp.bind)
+		return res != solver.Unsat
+	}
 	q := make([]*expr.Expr, 0, len(serverPath)+len(cp.bind))
 	q = append(q, serverPath...)
 	q = append(q, cp.bind...)
@@ -407,14 +415,14 @@ func (a *analysis) triggerable(serverPath []*expr.Expr, i int) bool {
 
 // liveFromScratch computes the live set for a path with no incremental
 // state (a-posteriori mode).
-func (a *analysis) liveFromScratch(serverPath []*expr.Expr) []int {
+func (a *analysis) liveFromScratch(pfx *solver.Prefix, serverPath []*expr.Expr) []int {
 	var live []int
 	byKey := map[string]bool{}
 	for i := range a.pc.Paths {
 		key := a.pc.Paths[i].bindKey
 		ok, seen := byKey[key]
 		if !seen {
-			ok = a.triggerable(serverPath, i)
+			ok = a.triggerable(pfx, serverPath, i)
 			byKey[key] = ok
 		}
 		if ok {
@@ -491,7 +499,7 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 		key := a.pc.Paths[j].bindKey
 		ok, seen := byKey[key]
 		if !seen {
-			ok = a.triggerable(st.Path, j)
+			ok = a.triggerable(st.SolverPrefix(), st.Path, j)
 			byKey[key] = ok
 		} else {
 			bindKeyHits++
@@ -510,7 +518,7 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 	a.mu.Unlock()
 	// Incremental Trojan check: discard the state as soon as no Trojan
 	// message can trigger it (Figure 7).
-	return a.trojanPossible(st.Path, kept)
+	return a.trojanPossible(st.SolverPrefix(), st.Path, kept)
 }
 
 // trojanPossible checks sat(pathS ∧ ⋀ negate(pathC_i)) for the live set.
@@ -518,9 +526,8 @@ func (a *analysis) onBranch(st *symexec.State, cond *expr.Expr) bool {
 // (paths that admit identical message sets) collapse to one conjunct, which
 // keeps the DPLL split count proportional to the number of *distinct*
 // client predicates rather than the raw path count.
-func (a *analysis) trojanPossible(serverPath []*expr.Expr, live []int) bool {
-	q := make([]*expr.Expr, 0, len(serverPath)+len(live))
-	q = append(q, serverPath...)
+func (a *analysis) trojanPossible(pfx *solver.Prefix, serverPath []*expr.Expr, live []int) bool {
+	negs := make([]*expr.Expr, 0, len(live))
 	seen := map[uint64][]*expr.Expr{}
 	for _, i := range live {
 		neg := a.pc.Paths[i].Negation()
@@ -532,8 +539,15 @@ func (a *analysis) trojanPossible(serverPath []*expr.Expr, live []int) bool {
 		if dupSeen(seen, neg) {
 			continue
 		}
-		q = append(q, neg)
+		negs = append(negs, neg)
 	}
+	if pfx != nil {
+		res, _ := a.sol.CheckPrefixAllCtx(a.runCtx, pfx, negs)
+		return res != solver.Unsat
+	}
+	q := make([]*expr.Expr, 0, len(serverPath)+len(negs))
+	q = append(q, serverPath...)
+	q = append(q, negs...)
 	res, _ := a.sol.CheckCtx(a.runCtx, q)
 	return res != solver.Unsat
 }
@@ -570,8 +584,7 @@ func (a *analysis) filtered() {
 // example, streaming it to the observer. Index and ServerStateID assignment
 // is deferred to finalize so concurrent discoveries merge deterministically.
 func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
-	q := make([]*expr.Expr, 0, len(st.Path)+len(live))
-	q = append(q, st.Path...)
+	negs := make([]*expr.Expr, 0, len(live))
 	witness := expr.AndAll(st.Path)
 	seen := map[uint64][]*expr.Expr{}
 	for _, i := range live {
@@ -583,10 +596,19 @@ func (a *analysis) reportIfTrojan(st *symexec.State, live []int) {
 		if dupSeen(seen, neg) {
 			continue
 		}
-		q = append(q, neg)
+		negs = append(negs, neg)
 		witness = expr.And(witness, neg)
 	}
-	res, model := a.sol.CheckCtx(a.runCtx, q)
+	var res solver.Result
+	var model expr.Env
+	if pfx := st.SolverPrefix(); pfx != nil {
+		res, model = a.sol.CheckPrefixAllCtx(a.runCtx, pfx, negs)
+	} else {
+		q := make([]*expr.Expr, 0, len(st.Path)+len(negs))
+		q = append(q, st.Path...)
+		q = append(q, negs...)
+		res, model = a.sol.CheckCtx(a.runCtx, q)
+	}
 	if res != solver.Sat {
 		a.filtered()
 		return

@@ -478,6 +478,10 @@ type SpeedupRow struct {
 	Server  time.Duration
 	Classes int
 	Speedup float64 // sequential total / this total
+	// Solver holds the run's solver counters. At -j 1 the pipeline is
+	// sequential and the counters are deterministic, which makes them the
+	// guarded search-space metrics of the bench trajectory (benchjson.go).
+	Solver solver.Stats
 }
 
 // Speedup is the parallel-vs-sequential scaling study. It goes beyond the
@@ -519,6 +523,7 @@ func RunSpeedup(jobs []int) (*Speedup, error) {
 			Total:   run.Total(),
 			Server:  run.ServerTime,
 			Classes: len(run.Analysis.Trojans),
+			Solver:  run.Analysis.SolverStats,
 		}
 		if run.Total() > 0 {
 			row.Speedup = float64(baseline.Total()) / float64(run.Total())
@@ -557,6 +562,9 @@ type CampaignScaling struct {
 	Rows    []CampaignRow
 	Targets int
 	CPUs    int
+	// Solver holds the budget-1 campaign's manifest solver counters —
+	// deterministic at budget 1, guarded by the bench trajectory.
+	Solver campaign.Counters
 }
 
 // RunCampaignScaling audits every registered target at each budget and
@@ -580,6 +588,7 @@ func RunCampaignScaling(budgets []int) (*CampaignScaling, error) {
 		if baseline == nil {
 			baseline = b
 			out.Targets = len(b.Manifest.Runs)
+			out.Solver = b.Manifest.Solver
 		} else if d := campaign.Diff(baseline, b); !d.Empty() {
 			return nil, fmt.Errorf("experiments: campaign at -j %d produced a different bundle than -j %d:\n%s",
 				j, budgets[0], d.Render())

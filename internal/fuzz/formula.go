@@ -1,0 +1,132 @@
+package fuzz
+
+// Random constraint-formula generation for the solver's differential test
+// suite. The distribution is tuned to the shapes Achilles actually feeds the
+// solver: conjunctions of linear comparisons over a small shared vocabulary
+// (so complement pairs, repeated combinations and tight bands arise often),
+// with occasional boolean structure (And/Or/Not) and, when enabled, atoms
+// outside the linear fragment (variable products, division) that exercise
+// the non-linear fallback.
+
+import (
+	"math/rand"
+
+	"achilles/internal/expr"
+)
+
+// FormulaOptions bound the generated constraint systems.
+type FormulaOptions struct {
+	// Vars is the size of the variable vocabulary (x0..x{Vars-1}).
+	Vars int
+	// MaxConstraints caps the number of top-level conjuncts (at least 1).
+	MaxConstraints int
+	// ConstRange bounds the magnitude of generated constants; small ranges
+	// keep enumeration exhaustive so verdicts are decisive.
+	ConstRange int64
+	// Nonlinear admits variable products and divisions at low frequency.
+	Nonlinear bool
+}
+
+// DefaultFormulaOptions are the differential suite's settings.
+func DefaultFormulaOptions() FormulaOptions {
+	return FormulaOptions{Vars: 4, MaxConstraints: 6, ConstRange: 8}
+}
+
+// Formula generates one random constraint slice (a conjunction).
+func Formula(r *rand.Rand, opts FormulaOptions) []*expr.Expr {
+	if opts.Vars <= 0 {
+		opts.Vars = 4
+	}
+	if opts.Vars > 10 {
+		opts.Vars = 10 // single-digit names only
+	}
+	if opts.MaxConstraints <= 0 {
+		opts.MaxConstraints = 6
+	}
+	if opts.ConstRange <= 0 {
+		opts.ConstRange = 8
+	}
+	n := 1 + r.Intn(opts.MaxConstraints)
+	out := make([]*expr.Expr, n)
+	for i := range out {
+		out[i] = boolExpr(r, opts, 2)
+	}
+	return out
+}
+
+// boolExpr generates a boolean-valued expression with bounded nesting.
+func boolExpr(r *rand.Rand, opts FormulaOptions, depth int) *expr.Expr {
+	if depth <= 0 {
+		return atom(r, opts)
+	}
+	switch r.Intn(10) {
+	case 0:
+		return expr.And(boolExpr(r, opts, depth-1), boolExpr(r, opts, depth-1))
+	case 1, 2:
+		return expr.Or(boolExpr(r, opts, depth-1), boolExpr(r, opts, depth-1))
+	case 3:
+		return expr.Not(boolExpr(r, opts, depth-1))
+	default:
+		return atom(r, opts)
+	}
+}
+
+// atom generates one comparison. Operands reuse a small set of linear
+// combinations so that structurally related atoms (same combination,
+// different constants/operators) dominate — the regime where clause
+// learning, pairwise conflict detection and interning have to agree with
+// the naive reference.
+func atom(r *rand.Rand, opts FormulaOptions) *expr.Expr {
+	lhs := linExpr(r, opts)
+	rhs := expr.Const(r.Int63n(2*opts.ConstRange+1) - opts.ConstRange)
+	switch r.Intn(6) {
+	case 0:
+		return expr.Eq(lhs, rhs)
+	case 1:
+		return expr.Ne(lhs, rhs)
+	case 2:
+		return expr.Lt(lhs, rhs)
+	case 3:
+		return expr.Le(lhs, rhs)
+	case 4:
+		return expr.Gt(lhs, rhs)
+	default:
+		return expr.Ge(lhs, rhs)
+	}
+}
+
+// linExpr generates an arithmetic operand: a variable, a small linear
+// combination, or (when enabled, rarely) a non-linear term.
+func linExpr(r *rand.Rand, opts FormulaOptions) *expr.Expr {
+	v := func() *expr.Expr { return expr.Var(varName(r.Intn(opts.Vars))) }
+	if opts.Nonlinear && r.Intn(12) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return expr.Mul(v(), v())
+		case 1:
+			return expr.Div(v(), expr.Const(1+r.Int63n(3)))
+		default:
+			return expr.Mod(v(), expr.Const(1+r.Int63n(5)))
+		}
+	}
+	switch r.Intn(5) {
+	case 0:
+		return v()
+	case 1:
+		return expr.Add(v(), v())
+	case 2:
+		return expr.Sub(v(), v())
+	case 3:
+		c := 1 + r.Int63n(3)
+		if r.Intn(2) == 0 {
+			c = -c
+		}
+		return expr.Mul(expr.Const(c), v())
+	default:
+		return expr.Add(v(), expr.Const(r.Int63n(2*opts.ConstRange+1)-opts.ConstRange))
+	}
+}
+
+func varName(i int) string {
+	return "x" + string(rune('0'+i))
+}

@@ -1,0 +1,102 @@
+package solver
+
+// Conflict-set learning. Whenever the propagation layer refutes a
+// conjunction — linearConflict on the linearised atoms, or interval
+// propagation emptying a domain — the refuted set of interned atom IDs is
+// recorded. Before any later conjunction is propagated (at DPLL split nodes
+// via feasibleConj and at leaves via solveConj), the learned index is
+// consulted first: an exact hit answers Unsat without re-deriving the
+// refutation. Sibling split branches and the Trojan negation queries issued
+// by the analysis re-build the same conjunctions thousands of times, so the
+// exact-match form already removes the bulk of the repeated propagation work
+// the PR 2 profile identified.
+//
+// Soundness and exactness:
+//
+//   - only refutations proved by the budget-free propagation layer are
+//     recorded — never search outcomes (whose Unsat proofs are exhaustive
+//     but whose cost is charged against the decision budget) and never
+//     verdicts influenced by a cancelled context. A hit therefore replaces a
+//     re-derivation that consumes no decision budget, so budget accounting —
+//     and with it every budget-sensitive verdict and model — is unchanged;
+//   - a hit only ever short-circuits to Unsat, and only for a conjunction
+//     whose atom set was itself refuted, so no Sat subtree (and no model) is
+//     ever skipped;
+//   - keys are sorted, deduplicated ID sets: order-variants of one
+//     conjunction alias deliberately, mirroring the sorted renderings the
+//     verdict cache has always keyed on.
+//
+// The index is in-memory only. It is never persisted — IDs are per-solver
+// and scheduling-dependent — so solver.Version bumps can never replay a
+// stale learned clause from disk (see persist.go for the cache-file gate).
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// learnedCap bounds the learned index. Recording stops at the cap (no
+// eviction): a full index keeps serving its hits, and correctness never
+// depends on an insert landing.
+const learnedCap = 1 << 16
+
+// learnedSet is the mutex-guarded index of refuted conjunctions.
+type learnedSet struct {
+	mu sync.Mutex
+	m  map[string]struct{}
+}
+
+func newLearnedSet() *learnedSet {
+	return &learnedSet{m: make(map[string]struct{})}
+}
+
+// conflictKey encodes the sorted, deduplicated interned-ID set of a
+// conjunction as a compact byte string.
+func conflictKey(entries []*internEntry) string {
+	ids := make([]uint64, 0, len(entries))
+	for _, en := range entries {
+		ids = append(ids, en.id)
+	}
+	// Insertion sort: conjunctions are small and mostly pre-sorted (prefix
+	// atoms intern in path order).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	buf := make([]byte, 0, len(ids)*2)
+	var last uint64
+	for i, id := range ids {
+		if i > 0 && id == last {
+			continue
+		}
+		// Delta-encode against the previous ID: sorted sets varint-pack well.
+		buf = binary.AppendUvarint(buf, id-last)
+		last = id
+	}
+	return string(buf)
+}
+
+// has reports whether the conjunction key was previously refuted.
+func (l *learnedSet) has(key string) bool {
+	l.mu.Lock()
+	_, ok := l.m[key]
+	l.mu.Unlock()
+	return ok
+}
+
+// add records a refuted conjunction key, dropping it when the index is full.
+func (l *learnedSet) add(key string) {
+	l.mu.Lock()
+	if len(l.m) < learnedCap {
+		l.m[key] = struct{}{}
+	}
+	l.mu.Unlock()
+}
+
+// size reports the number of learned conflict sets.
+func (l *learnedSet) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
+}

@@ -24,6 +24,17 @@ type linAtom struct {
 	coeffs []int64
 	c      int64
 	orig   *expr.Expr
+
+	// ckey/cneg cache key(): atoms are interned and shared across queries
+	// (and goroutines), so the canonical fingerprint is rendered once at
+	// linearise time instead of per linearConflict scan.
+	ckey string
+	cneg bool
+	// ckeyID is the arena-assigned small integer for ckey (0 = unassigned).
+	// Two atoms of one solver share a combination iff their IDs are equal
+	// and nonzero, which lets linearConflict detect "no shared combination"
+	// with integer compares instead of string-keyed maps.
+	ckeyID uint32
 }
 
 // linearise converts a comparison expression into a linear atom. It returns
@@ -72,6 +83,7 @@ func linearise(e *expr.Expr) (*linAtom, bool) {
 			la.coeffs = append(la.coeffs, acc[v])
 		}
 	}
+	la.ckey, la.cneg = la.key()
 	return la, true
 }
 
@@ -119,78 +131,153 @@ func (la *linAtom) orientedC(negated bool) int64 {
 //
 // These shapes dominate Achilles' Trojan queries over shared state.
 func linearConflict(atoms []*linAtom) bool {
-	type info struct {
-		eqSet  map[int64]bool // S + c == 0 seen
-		neSet  map[int64]bool // S + c != 0 seen
-		leMin  int64          // tightest S <= -c  =>  upper bound of S
-		hasLe  bool
-		geMax  int64 // from negated-orientation Le: lower bound of S
-		hasGe  bool
-		eqOnce bool
-		eqC    int64
-	}
-	m := map[string]*info{}
-	get := func(k string) *info {
-		if v, ok := m[k]; ok {
-			return v
-		}
-		v := &info{eqSet: map[int64]bool{}, neSet: map[int64]bool{}}
-		m[k] = v
-		return v
-	}
+	// Fast path: a conflict needs at least two atoms over the same canonical
+	// combination, and interned atoms carry an integer ID per combination.
+	// When all IDs are distinct (the common case for a freshly extended
+	// path), no conflict is possible and the string-keyed bookkeeping below
+	// — maps allocated per call — is skipped entirely. An unassigned ID
+	// (atom built outside the arena) conservatively forces the full scan.
+	var idBuf [64]uint32
+	seen := idBuf[:0]
+	dup := false
+scan:
 	for _, a := range atoms {
-		k, neg := a.key()
-		if k == "" {
+		if a.ckey == "" {
 			continue
 		}
-		in := get(k)
-		c := a.orientedC(neg)
-		switch a.op {
-		case opEq:
-			if in.neSet[c] {
+		if a.ckeyID == 0 {
+			dup = true
+			break
+		}
+		for _, id := range seen {
+			if id == a.ckeyID {
+				dup = true
+				break scan
+			}
+		}
+		seen = append(seen, a.ckeyID)
+	}
+	if !dup {
+		return false
+	}
+	// Slow path: at least two atoms share a combination. Group atoms by
+	// combination with pairwise ID compares and run the per-combination
+	// bookkeeping on stack-allocated state — groups are tiny, so linear
+	// scans over small constant slices replace the string-keyed maps this
+	// used to allocate per call.
+	n := len(atoms)
+	var doneBuf [128]bool
+	var done []bool
+	if n <= len(doneBuf) {
+		done = doneBuf[:n]
+	} else {
+		done = make([]bool, n)
+	}
+	sameComb := func(a, b *linAtom) bool {
+		if a.ckeyID != 0 && b.ckeyID != 0 {
+			return a.ckeyID == b.ckeyID
+		}
+		return a.ckey == b.ckey
+	}
+	for i := 0; i < n; i++ {
+		if done[i] || atoms[i].ckey == "" {
+			continue
+		}
+		var g combGroup
+		if g.add(atoms[i]) {
+			return true
+		}
+		for j := i + 1; j < n; j++ {
+			if done[j] || atoms[j].ckey == "" || !sameComb(atoms[i], atoms[j]) {
+				continue
+			}
+			done[j] = true
+			if g.add(atoms[j]) {
 				return true
 			}
-			if in.eqOnce && in.eqC != c {
-				return true
+		}
+	}
+	return false
+}
+
+// combGroup accumulates the atoms of one canonical combination S and detects
+// contradictions among them. The zero value is ready to use.
+type combGroup struct {
+	eqBuf  [4]int64
+	neBuf  [4]int64
+	eqs    []int64 // S + c == 0 seen
+	nes    []int64 // S + c != 0 seen
+	leMin  int64   // tightest S <= -c  =>  upper bound of S
+	hasLe  bool
+	geMax  int64 // from negated-orientation Le: lower bound of S
+	hasGe  bool
+	eqOnce bool
+	eqC    int64
+}
+
+func containsI64(xs []int64, v int64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// add folds one atom into the group, reporting whether it contradicts what
+// came before. The transitions mirror the original map-based scan exactly.
+func (g *combGroup) add(a *linAtom) bool {
+	c := a.orientedC(a.cneg)
+	switch a.op {
+	case opEq:
+		if containsI64(g.nes, c) {
+			return true
+		}
+		if g.eqOnce && g.eqC != c {
+			return true
+		}
+		g.eqOnce, g.eqC = true, c
+		if g.eqs == nil {
+			g.eqs = g.eqBuf[:0]
+		}
+		g.eqs = append(g.eqs, c)
+		if g.hasLe && satNeg(c) > g.leMin {
+			return true
+		}
+		if g.hasGe && satNeg(c) < g.geMax {
+			return true
+		}
+	case opNe:
+		if containsI64(g.eqs, c) {
+			return true
+		}
+		if g.nes == nil {
+			g.nes = g.neBuf[:0]
+		}
+		g.nes = append(g.nes, c)
+	case opLe:
+		// Stored: Σ coeff·x + a.c <= 0. In canonical orientation S:
+		// if not negated: S <= -c (upper bound); else the orientation flip
+		// turns it into a lower bound: S >= a.c.
+		if !a.cneg {
+			ub := satNeg(a.c)
+			if !g.hasLe || ub < g.leMin {
+				g.hasLe, g.leMin = true, ub
 			}
-			in.eqOnce, in.eqC = true, c
-			in.eqSet[c] = true
-			if in.hasLe && satNeg(c) > in.leMin {
-				return true
+		} else {
+			lb := a.c
+			if !g.hasGe || lb > g.geMax {
+				g.hasGe, g.geMax = true, lb
 			}
-			if in.hasGe && satNeg(c) < in.geMax {
-				return true
-			}
-		case opNe:
-			if in.eqSet[c] {
-				return true
-			}
-			in.neSet[c] = true
-		case opLe:
-			// Stored: Σ coeff·x + a.c <= 0. In canonical orientation S:
-			// if not negated: S <= -c (upper bound); else -S + |c|... the
-			// orientation flip turns it into a lower bound: S >= c'.
-			if !neg {
-				ub := satNeg(a.c)
-				if !in.hasLe || ub < in.leMin {
-					in.hasLe, in.leMin = true, ub
-				}
-			} else {
-				// Original: (-S) + a.c <= 0  =>  S >= a.c.
-				lb := a.c
-				if !in.hasGe || lb > in.geMax {
-					in.hasGe, in.geMax = true, lb
-				}
-			}
-			if in.hasLe && in.hasGe && in.geMax > in.leMin {
-				return true
-			}
-			if in.eqOnce && in.hasLe && satNeg(in.eqC) > in.leMin {
-				return true
-			}
-			if in.eqOnce && in.hasGe && satNeg(in.eqC) < in.geMax {
-				return true
-			}
+		}
+		if g.hasLe && g.hasGe && g.geMax > g.leMin {
+			return true
+		}
+		if g.eqOnce && g.hasLe && satNeg(g.eqC) > g.leMin {
+			return true
+		}
+		if g.eqOnce && g.hasGe && satNeg(g.eqC) < g.geMax {
+			return true
 		}
 	}
 	return false

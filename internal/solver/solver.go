@@ -46,7 +46,13 @@ import (
 // whenever a change can alter a verdict (fragment semantics, enumeration
 // policy, Unknown treatment), so stale on-disk caches are discarded at load
 // instead of replaying verdicts this solver would no longer produce.
-const Version = "solver/1"
+//
+// solver/2: interned expressions, learned conflict sets and incremental
+// prefix solving (see intern.go, learn.go, prefix.go). The decision
+// procedure is designed to be verdict- and model-preserving, but the fast
+// path introduces cross-query state that the solver/1 revision did not
+// have, so caches written by solver/1 are refused rather than replayed.
+const Version = "solver/2"
 
 // Result is the outcome of a satisfiability check.
 type Result int
@@ -91,6 +97,17 @@ type Stats struct {
 	// contradicted; they are replaced, never served.
 	Reverified     int
 	ReverifyFailed int
+
+	// Fast-path counters (see intern.go, learn.go): Interned is the number
+	// of structurally distinct expressions in the arena, LearnedSets the
+	// number of recorded conflict sets, LearnedHits the number of
+	// conjunctions answered Unsat from the learned index without
+	// re-propagating, FeasibleHits the number of split-node feasibility
+	// gates answered "not refuted" from the complementary memo.
+	Interned     int
+	LearnedSets  int
+	LearnedHits  int
+	FeasibleHits int
 }
 
 // counters is the internal, concurrency-safe representation of Stats.
@@ -105,6 +122,8 @@ type counters struct {
 	cacheMisses    atomic.Int64
 	reverified     atomic.Int64
 	reverifyFailed atomic.Int64
+	learnedHits    atomic.Int64
+	feasibleHits   atomic.Int64
 }
 
 // Options configure a Solver.
@@ -134,6 +153,9 @@ type Solver struct {
 	stats       counters
 	cache       *verdictCache // nil when disabled
 	loadedProbe atomic.Int64  // loaded Unsat/Unknown hits, for sampling
+	arena       *internArena  // hash-consed expressions (intern.go)
+	learned     *learnedSet   // refuted conjunction index (learn.go)
+	propOK      *learnedSet   // non-refuted split-gate index (learn.go)
 }
 
 // New returns a Solver with the given options.
@@ -150,7 +172,7 @@ func New(opts Options) *Solver {
 	if opts.CacheShardEntries == 0 {
 		opts.CacheShardEntries = 4096
 	}
-	s := &Solver{opts: opts}
+	s := &Solver{opts: opts, arena: newInternArena(), learned: newLearnedSet(), propOK: newLearnedSet()}
 	if !opts.DisableCache {
 		s.cache = newVerdictCache(opts.CacheShards, opts.CacheShardEntries)
 	}
@@ -174,6 +196,11 @@ func (s *Solver) Stats() Stats {
 
 		Reverified:     int(s.stats.reverified.Load()),
 		ReverifyFailed: int(s.stats.reverifyFailed.Load()),
+
+		Interned:     s.arena.size(),
+		LearnedSets:  s.learned.size(),
+		LearnedHits:  int(s.stats.learnedHits.Load()),
+		FeasibleHits: int(s.stats.feasibleHits.Load()),
 	}
 }
 
@@ -189,6 +216,8 @@ func (s *Solver) ResetStats() {
 	s.stats.cacheMisses.Store(0)
 	s.stats.reverified.Store(0)
 	s.stats.reverifyFailed.Store(0)
+	s.stats.learnedHits.Store(0)
+	s.stats.feasibleHits.Store(0)
 }
 
 // satLimit is the saturation bound for interval arithmetic: all domain
@@ -216,6 +245,24 @@ func (s *Solver) Check(constraints []*expr.Expr) (Result, expr.Env) {
 // cancelled context is NOT memoised: caching it would poison the verdict
 // cache with budget-dependent Unknowns that outlive the cancellation.
 func (s *Solver) CheckCtx(ctx context.Context, constraints []*expr.Expr) (Result, expr.Env) {
+	entries := s.internAll(constraints)
+	keyFn := func() string { return queryKeyInterned(entries) }
+	constraintsFn := func() []*expr.Expr { return constraints }
+	return s.checkCached(ctx, keyFn, constraintsFn, func(ctx context.Context) (Result, expr.Env) {
+		return s.check(ctx, flattenQuery(s, entries), nil)
+	})
+}
+
+// checkCached runs the shared cache protocol around one solve: stats, key
+// lookup, loaded-entry re-verification, the cancellation guard and the final
+// memoisation. keyFn produces the cache key (assembled from cached interned
+// renderings — byte-identical to the historical queryKey format),
+// constraintsFn materialises the original expressions (consulted only when a
+// loaded Sat model must be re-evaluated), and solve produces a fresh
+// verdict.
+func (s *Solver) checkCached(ctx context.Context, keyFn func() string,
+	constraintsFn func() []*expr.Expr, solve func(context.Context) (Result, expr.Env)) (Result, expr.Env) {
+
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -223,9 +270,9 @@ func (s *Solver) CheckCtx(ctx context.Context, constraints []*expr.Expr) (Result
 	var key string
 	var loaded *verdict
 	if s.cache != nil {
-		key = queryKey(constraints)
+		key = keyFn()
 		if ent, ok := s.cache.get(key); ok {
-			if !ent.loaded || s.trustLoaded(key, ent, constraints) {
+			if !ent.loaded || s.trustLoaded(key, ent, constraintsFn()) {
 				s.stats.cacheHits.Add(1)
 				return ent.res, ent.model.Clone()
 			}
@@ -233,7 +280,7 @@ func (s *Solver) CheckCtx(ctx context.Context, constraints []*expr.Expr) (Result
 		}
 		s.stats.cacheMisses.Add(1)
 	}
-	res, model := s.check(ctx, constraints)
+	res, model := solve(ctx)
 	if ctx.Err() != nil && res == Unknown {
 		// Aborted mid-search: the Unknown reflects the cancellation, not the
 		// query. Report it, but neither cache it nor let it indict a loaded
@@ -289,17 +336,35 @@ func (s *Solver) trustLoaded(key string, ent verdict, constraints []*expr.Expr) 
 	return true
 }
 
-// check solves one query without consulting the cache.
-func (s *Solver) check(ctx context.Context, constraints []*expr.Expr) (Result, expr.Env) {
-	var conj []*expr.Expr
-	var disj []*expr.Expr
-	for _, c := range constraints {
-		if !flatten(c, &conj, &disj) {
-			return Unsat, nil
+// flatQuery is one query flattened into interned conjunctive atoms and
+// disjunctions, plus the optional domain seed of a path prefix.
+type flatQuery struct {
+	conj    []*internEntry
+	disj    []*internEntry
+	refuted bool // a literal false constraint was found
+}
+
+// flattenQuery flattens the top-level constraint entries of a query.
+func flattenQuery(s *Solver, entries []*internEntry) flatQuery {
+	var fq flatQuery
+	for _, en := range entries {
+		if !s.flattenInto(en.e, &fq.conj, &fq.disj) {
+			fq.refuted = true
+			return fq
 		}
 	}
+	return fq
+}
+
+// check solves one flattened query without consulting the cache. seed, when
+// non-nil, is a sound domain pre-narrowing for a subset of the conjunction
+// (see Prefix) — propagation starts from it instead of full domains.
+func (s *Solver) check(ctx context.Context, fq flatQuery, seed map[string]interval) (Result, expr.Env) {
+	if fq.refuted {
+		return Unsat, nil
+	}
 	budget := s.opts.MaxDecisions
-	res, model := s.solve(ctx, conj, disj, &budget)
+	res, model := s.solve(ctx, fq.conj, fq.disj, seed, &budget)
 	if res == Unknown {
 		s.stats.unknowns.Add(1)
 	}
@@ -311,19 +376,20 @@ func (s *Solver) CheckExpr(e *expr.Expr) (Result, expr.Env) {
 	return s.Check([]*expr.Expr{e})
 }
 
-// flatten splits e into conjunctive atoms (comparisons, non-linear leaves)
-// and disjunction atoms. It returns false if a literal false was found.
-func flatten(e *expr.Expr, conj, disj *[]*expr.Expr) bool {
+// flattenInto splits e into conjunctive atoms (comparisons, non-linear
+// leaves) and disjunction atoms, interning each. It returns false if a
+// literal false was found.
+func (s *Solver) flattenInto(e *expr.Expr, conj, disj *[]*internEntry) bool {
 	switch e.Kind {
 	case expr.KBool:
 		return e.Val != 0
 	case expr.KAnd:
-		return flatten(e.Args[0], conj, disj) && flatten(e.Args[1], conj, disj)
+		return s.flattenInto(e.Args[0], conj, disj) && s.flattenInto(e.Args[1], conj, disj)
 	case expr.KOr:
-		*disj = append(*disj, e)
+		*disj = append(*disj, s.arena.intern(e))
 		return true
 	default:
-		*conj = append(*conj, e)
+		*conj = append(*conj, s.arena.intern(e))
 		return true
 	}
 }
@@ -340,13 +406,15 @@ func disjuncts(e *expr.Expr, out *[]*expr.Expr) {
 
 // solve handles DPLL splitting over the disjunctions, then delegates pure
 // conjunctions to solveConj. A cancelled ctx aborts the split tree with
-// Unknown at the next node boundary.
-func (s *Solver) solve(ctx context.Context, conj, disj []*expr.Expr, budget *int) (Result, expr.Env) {
+// Unknown at the next node boundary. seed (possibly nil) is a sound domain
+// pre-narrowing for a subset of conj; it stays valid down the split tree
+// because branches only ever add atoms.
+func (s *Solver) solve(ctx context.Context, conj, disj []*internEntry, seed map[string]interval, budget *int) (Result, expr.Env) {
 	if ctx.Err() != nil {
 		return Unknown, nil
 	}
 	if len(disj) == 0 {
-		return s.solveConj(ctx, conj, budget)
+		return s.solveConj(ctx, conj, seed, budget)
 	}
 	// Split-node pruning: refute the partial conjunction by propagation
 	// before splitting further. Without this, a contradicted disjunct picked
@@ -358,7 +426,7 @@ func (s *Solver) solve(ctx context.Context, conj, disj []*expr.Expr, budget *int
 	// disjuncts can never make an unsat conjunction satisfiable), so
 	// verdicts are unchanged; only the visit order of the split tree
 	// shrinks.
-	if !s.feasibleConj(conj) {
+	if !s.feasibleSeeded(conj, seed) {
 		return Unsat, nil
 	}
 	// Split on the first disjunction; propagation inside solveConj will
@@ -366,19 +434,19 @@ func (s *Solver) solve(ctx context.Context, conj, disj []*expr.Expr, budget *int
 	d := disj[0]
 	rest := disj[1:]
 	var parts []*expr.Expr
-	disjuncts(d, &parts)
+	disjuncts(d.e, &parts)
 	sawUnknown := false
 	for _, p := range parts {
 		if *budget <= 0 {
 			return Unknown, nil
 		}
 		s.stats.splits.Add(1)
-		subConj := append([]*expr.Expr{}, conj...)
-		subDisj := append([]*expr.Expr{}, rest...)
-		if !flatten(p, &subConj, &subDisj) {
+		subConj := append([]*internEntry{}, conj...)
+		subDisj := append([]*internEntry{}, rest...)
+		if !s.flattenInto(p, &subConj, &subDisj) {
 			continue
 		}
-		res, model := s.solve(ctx, subConj, subDisj, budget)
+		res, model := s.solve(ctx, subConj, subDisj, seed, budget)
 		switch res {
 		case Sat:
 			return Sat, model
@@ -446,14 +514,22 @@ func clamp(v int64) int64 {
 	return v
 }
 
-// conjState is the mutable state of a conjunction search.
+// conjState is the mutable state of a conjunction search. Domain reads are
+// layered: the assignment, then the narrowings written this solve (domains),
+// then the read-only seed (a prefix fixpoint), then the full interval — so a
+// fresh state costs nothing per variable and search clones copy only what
+// this solve actually narrowed. All reads must go through domainOf; a direct
+// domains[v] lookup would misread an untouched variable as the empty-ish
+// zero interval.
 type conjState struct {
+	entries  []*internEntry      // interned source atoms (for lazy varOrder)
 	atoms    []*linAtom          // linearised atoms
 	nonlin   []*expr.Expr        // atoms outside the linear fragment
-	domains  map[string]interval // current variable domains
+	domains  map[string]interval // narrowings made during this solve
+	seed     map[string]interval // read-only pre-narrowing (may be nil)
 	assigned expr.Env            // fixed variables
 	orig     []*expr.Expr        // original atoms for final verification
-	varOrder []string            // deterministic variable ordering
+	varOrder []string            // deterministic variable ordering, built lazily
 }
 
 func (cs *conjState) clone() *conjState {
@@ -466,58 +542,99 @@ func (cs *conjState) clone() *conjState {
 		na[k] = v
 	}
 	return &conjState{
-		atoms:    cs.atoms, // immutable after build
+		entries:  cs.entries, // immutable after build
+		atoms:    cs.atoms,
 		nonlin:   cs.nonlin,
 		domains:  nd,
+		seed:     cs.seed, // read-only, shared
 		assigned: na,
 		orig:     cs.orig,
 		varOrder: cs.varOrder,
 	}
 }
 
-// newConjState linearises the atoms and seeds full domains for every
-// variable — the shared setup of the leaf decision and the split-node
-// feasibility check.
-func newConjState(atoms []*expr.Expr) *conjState {
+// newConjState assembles the conjunction search state from interned entries:
+// linearisations and variable lists come from the arena instead of being
+// recomputed. Domains resolve through the seed (a sound pre-narrowing from a
+// path prefix) and default to full — interval propagation is confluent, so
+// starting from the prefix fixpoint reaches the same final domains as
+// starting from the top (see prefix.go for the argument). varOrder is built
+// on demand (ensureVarOrder): the propagation-only callers — feasibleSeeded
+// at every split node, Prefix.Extend — never need it.
+func (s *Solver) newConjState(entries []*internEntry, seed map[string]interval) *conjState {
 	cs := &conjState{
-		domains:  map[string]interval{},
+		entries:  entries,
+		domains:  make(map[string]interval, 8),
+		seed:     seed,
 		assigned: expr.Env{},
-		orig:     atoms,
+		orig:     make([]*expr.Expr, len(entries)),
 	}
-	for _, a := range atoms {
-		if la, ok := linearise(a); ok {
-			cs.atoms = append(cs.atoms, la)
+	for i, en := range entries {
+		cs.orig[i] = en.e
+		if en.la != nil {
+			cs.atoms = append(cs.atoms, en.la)
 		} else {
-			cs.nonlin = append(cs.nonlin, a)
+			cs.nonlin = append(cs.nonlin, en.e)
 		}
-	}
-	cs.varOrder = expr.VarsOf(atoms)
-	for _, v := range cs.varOrder {
-		cs.domains[v] = interval{-satLimit, satLimit}
 	}
 	return cs
 }
 
-// feasibleConj reports whether interval propagation alone fails to refute
-// the conjunction: false means provably unsat. It runs no search, which
-// keeps it cheap enough for every DPLL split node.
-func (s *Solver) feasibleConj(atoms []*expr.Expr) bool {
-	cs := newConjState(atoms)
-	if linearConflict(cs.atoms) {
-		return false
+// ensureVarOrder materialises the deterministic variable ordering; search
+// and finish need it, propagation does not.
+func (cs *conjState) ensureVarOrder() {
+	if cs.varOrder == nil {
+		cs.varOrder = mergeVars(cs.entries)
 	}
-	return s.propagate(cs)
 }
 
-// solveConj decides a pure conjunction of atoms.
-func (s *Solver) solveConj(ctx context.Context, atoms []*expr.Expr, budget *int) (Result, expr.Env) {
-	cs := newConjState(atoms)
-	if linearConflict(cs.atoms) {
+// feasibleSeeded reports whether the budget-free refutation layer — the
+// learned index, linearConflict, interval propagation — fails to refute the
+// conjunction: false means provably unsat. It runs no search, which keeps it
+// cheap enough for every DPLL split node. Fresh refutations are recorded in
+// the learned index so the next conjunction over the same atom set answers
+// from memory.
+func (s *Solver) feasibleSeeded(conj []*internEntry, seed map[string]interval) bool {
+	key := conflictKey(conj)
+	if s.learned.has(key) {
+		s.stats.learnedHits.Add(1)
+		return false
+	}
+	// The gate is a pure function of the atom set (propagation is confluent;
+	// see prefix.go), so the "not refuted" answer is memoised symmetrically:
+	// sibling split branches rebuild the same partial conjunctions over and
+	// over, and a positive hit skips the whole conjState build + propagation,
+	// not just the refuted case. The answer feeds nothing downstream but the
+	// split/no-split decision, so replaying it cannot shift verdicts.
+	if s.propOK.has(key) {
+		s.stats.feasibleHits.Add(1)
+		return true
+	}
+	cs := s.newConjState(conj, seed)
+	if linearConflict(cs.atoms) || !s.propagate(cs) {
+		s.learned.add(key)
+		return false
+	}
+	s.propOK.add(key)
+	return true
+}
+
+// solveConj decides a pure conjunction of atoms. The budget-free refutation
+// layer runs first (learned index, pairwise conflicts, propagation — all
+// recorded/served via the learned index); only then is the decision budget
+// spent on search.
+func (s *Solver) solveConj(ctx context.Context, conj []*internEntry, seed map[string]interval, budget *int) (Result, expr.Env) {
+	key := conflictKey(conj)
+	if s.learned.has(key) {
+		s.stats.learnedHits.Add(1)
 		return Unsat, nil
 	}
-	if !s.propagate(cs) {
+	cs := s.newConjState(conj, seed)
+	if linearConflict(cs.atoms) || !s.propagate(cs) {
+		s.learned.add(key)
 		return Unsat, nil
 	}
+	cs.ensureVarOrder()
 	return s.search(ctx, cs, budget)
 }
 
@@ -559,7 +676,7 @@ func fullEnvFor(nl *expr.Expr, cs *conjState) expr.Env {
 			env[v] = x
 			continue
 		}
-		d := cs.domains[v]
+		d := cs.domainOf(v)
 		if !d.point() {
 			return nil
 		}
@@ -569,12 +686,19 @@ func fullEnvFor(nl *expr.Expr, cs *conjState) expr.Env {
 }
 
 // domainOf returns the current interval of v, treating assignments as point
-// domains.
+// domains and resolving untouched variables through the seed layer down to
+// the full interval.
 func (cs *conjState) domainOf(v string) interval {
 	if x, ok := cs.assigned[v]; ok {
 		return interval{x, x}
 	}
-	return cs.domains[v]
+	if iv, ok := cs.domains[v]; ok {
+		return iv
+	}
+	if iv, ok := cs.seed[v]; ok {
+		return iv
+	}
+	return interval{-satLimit, satLimit}
 }
 
 // setDomain narrows the domain of v, reporting (ok, changed).
@@ -613,7 +737,7 @@ func (s *Solver) propagateAtom(cs *conjState, a *linAtom) (ok, changed bool) {
 			c = satAdd(c, satMul(a.coeffs[i], x))
 			continue
 		}
-		d := cs.domains[v]
+		d := cs.domainOf(v)
 		if d.point() {
 			c = satAdd(c, satMul(a.coeffs[i], d.lo))
 			continue
@@ -640,7 +764,7 @@ func (s *Solver) propagateAtom(cs *conjState, a *linAtom) (ok, changed bool) {
 			if j == skip {
 				continue
 			}
-			d := cs.domains[t.v]
+			d := cs.domainOf(t.v)
 			p1, p2 := satMul(t.coeff, d.lo), satMul(t.coeff, d.hi)
 			if p1 > p2 {
 				p1, p2 = p2, p1
@@ -661,7 +785,7 @@ func (s *Solver) propagateAtom(cs *conjState, a *linAtom) (ok, changed bool) {
 			if free[0].coeff == -1 {
 				excl = c
 			}
-			d := cs.domains[free[0].v]
+			d := cs.domainOf(free[0].v)
 			if d.point() && d.lo == excl {
 				return false, true
 			}
@@ -762,7 +886,7 @@ func (s *Solver) search(ctx context.Context, cs *conjState, budget *int) (Result
 		if _, done := cs.assigned[v]; done {
 			continue
 		}
-		d := cs.domains[v]
+		d := cs.domainOf(v)
 		if d.point() {
 			cs.assigned[v] = d.lo
 			continue
@@ -775,7 +899,7 @@ func (s *Solver) search(ctx context.Context, cs *conjState, budget *int) (Result
 	if bestVar == "" {
 		return s.finish(cs)
 	}
-	d := cs.domains[bestVar]
+	d := cs.domainOf(bestVar)
 	var candidates []int64
 	exhaustive := false
 	if bestSize <= s.opts.MaxEnumDomain {
@@ -845,7 +969,7 @@ func (s *Solver) finish(cs *conjState) (Result, expr.Env) {
 	}
 	for _, v := range cs.varOrder {
 		if _, ok := env[v]; !ok {
-			env[v] = cs.domains[v].lo
+			env[v] = cs.domainOf(v).lo
 		}
 	}
 	s.stats.verified.Add(1)

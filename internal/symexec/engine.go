@@ -136,10 +136,24 @@ type State struct {
 	inputCursor int // next index into Options.Inputs (concrete mode)
 	varCounter  int // fresh symbolic variable counter
 	msgCounter  int // recv() counter
+
+	// prefix mirrors Path as an incremental solver handle: it is extended
+	// exactly when Path grows, so feasibility queries reuse the path's
+	// flattened form and propagation fixpoint instead of re-solving the
+	// shared prefix per branch, and duplicate/complement branch conditions
+	// are decided without a solver call (see solver.Prefix). Prefixes are
+	// immutable, so forked siblings share the parent handle.
+	prefix *solver.Prefix
 }
 
 // frame returns the top activation.
 func (st *State) frame() *Frame { return &st.Frames[len(st.Frames)-1] }
+
+// SolverPrefix exposes the state's incremental path handle so analysis hooks
+// can issue path-plus-suffix solver queries through the prefix fast path
+// (solver.CheckPrefixAllCtx) instead of re-submitting the whole path. It is
+// nil in concrete mode and always mirrors Path otherwise.
+func (st *State) SolverPrefix() *solver.Prefix { return st.prefix }
 
 // PathExpr returns the conjunction of the path constraints.
 func (st *State) PathExpr() *expr.Expr { return expr.AndAll(st.Path) }
@@ -236,6 +250,11 @@ type Stats struct {
 	Forks       int
 	Steps       int
 	SolverCalls int
+
+	// Subsumed counts branch feasibility questions answered by the path
+	// prefix's interned-atom index — a condition (or its complement) already
+	// on the path — without consulting the solver.
+	Subsumed int
 
 	// Truncated reports that the exploration stopped before the fork tree
 	// was exhausted — either MaxStates tripped while unexplored states
@@ -438,6 +457,9 @@ func (e *Engine) initialState(entry *lang.IRFunc) *State {
 		}
 	}
 	st.Frames = []Frame{{Fn: entry, Slots: make([]Value, entry.NumSlots)}}
+	if !e.opts.Concrete {
+		st.prefix = e.opts.Solver.NewPrefix()
+	}
 	return st
 }
 
@@ -452,6 +474,7 @@ func (e *Engine) fork(ctx *wctx, st *State) *State {
 		inputCursor: st.inputCursor,
 		varCounter:  st.varCounter,
 		msgCounter:  st.msgCounter,
+		prefix:      st.prefix, // immutable; extended per-side after the fork
 	}
 	seen := map[*ArrayObj]*ArrayObj{}
 	cpVal := func(v Value) Value {
@@ -660,6 +683,7 @@ func (e *Engine) branch(ctx *wctx, st *State, fr *Frame, in *lang.Instr, cond *e
 		st.Depth++
 		st.Trail += "0"
 		st.Path = append(st.Path, cond)
+		st.prefix = st.prefix.Extend(cond)
 		fr.PC = in.A
 		if !e.fireBranch(st, cond) {
 			st.Status = StatusPruned
@@ -668,6 +692,7 @@ func (e *Engine) branch(ctx *wctx, st *State, fr *Frame, in *lang.Instr, cond *e
 		sibling.Depth++
 		sibling.Trail += "1"
 		sibling.Path = append(sibling.Path, negCond)
+		sibling.prefix = sibling.prefix.Extend(negCond)
 		sibling.frame().PC = in.B
 		if !e.fireBranch(sibling, negCond) {
 			sibling.Status = StatusPruned
@@ -699,6 +724,15 @@ func (e *Engine) fireBranch(st *State, cond *expr.Expr) bool {
 // feasible asks the solver whether the path plus cond is satisfiable.
 // Unknown is treated as feasible (sound for bug finding: accepted paths are
 // re-verified before reporting).
+//
+// Two fast paths answer without a full solve. Frontier subsumption: when
+// cond (or its complement) is already a conjunctive atom of the path, the
+// prefix's interned-atom index decides the question syntactically with the
+// exact answer the solver would give (see solver.Prefix.Implies) — this is
+// what collapses the sibling states whose branch condition is implied by an
+// already-explored path. Otherwise the query runs through the prefix handle,
+// reusing the path's flattened form and propagation fixpoint instead of
+// re-solving the shared prefix from scratch.
 func (e *Engine) feasible(ctx *wctx, st *State, cond *expr.Expr) bool {
 	if cond.IsTrue() {
 		return true
@@ -706,7 +740,15 @@ func (e *Engine) feasible(ctx *wctx, st *State, cond *expr.Expr) bool {
 	if cond.IsFalse() {
 		return false
 	}
+	if holds, ok := st.prefix.Implies(cond); ok {
+		ctx.stats.Subsumed++
+		return holds
+	}
 	ctx.stats.SolverCalls++
+	if st.prefix != nil {
+		res, _ := e.opts.Solver.CheckPrefixCtx(e.ctx, st.prefix, cond)
+		return res != solver.Unsat
+	}
 	cs := make([]*expr.Expr, 0, len(st.Path)+1)
 	cs = append(cs, st.Path...)
 	cs = append(cs, cond)
@@ -790,6 +832,7 @@ func (e *Engine) intrinsic(ctx *wctx, st *State, fr *Frame, in *lang.Instr) *Sta
 			return nil
 		}
 		st.Path = append(st.Path, cond)
+		st.prefix = st.prefix.Extend(cond)
 		// assume() adds a path constraint just like a branch does, so the
 		// branch hook fires here too (analyses track every constraint).
 		if !e.fireBranch(st, cond) {

@@ -147,6 +147,7 @@ func (e *Engine) runParallel(init *State) {
 		stats.Forks += ctx.stats.Forks
 		stats.Steps += ctx.stats.Steps
 		stats.SolverCalls += ctx.stats.SolverCalls
+		stats.Subsumed += ctx.stats.Subsumed
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].Trail < all[j].Trail })
 	for i, st := range all {
