@@ -1,0 +1,146 @@
+// Command achillesd serves Trojan-message audits over HTTP — the daemon
+// face of the pipeline behind achilles-audit (see internal/serve).
+//
+// Usage:
+//
+//	achillesd [-addr HOST:PORT] [-j N] [-quota N] [-store DIR]
+//	          [-cache FILE] [-drain-timeout DURATION]
+//
+// Clients POST audit jobs to /v1/jobs, follow them as server-sent events on
+// /v1/jobs/{id}/events, and fetch the persisted bundles — byte-identical to
+// achilles-audit bundles for the same inputs — from the content-addressed
+// store under /v1/bundles. All concurrent jobs share one -j worker budget,
+// one solver (so the verdict cache stays warm across jobs), and one bundle
+// store. Per-client concurrency is capped at -quota in-flight jobs; beyond
+// it, submissions are rejected with 429 + Retry-After.
+//
+// The daemon prints "achillesd: listening on ADDR" once the listener is up
+// (with the resolved port when -addr ends in :0), answers /healthz and
+// /metrics, and drains gracefully on SIGINT/SIGTERM: the listener closes,
+// /healthz flips to 503, running sessions are cancelled mid-frontier and
+// their interrupted bundles persisted, and the process exits 0 once every
+// job goroutine has unwound — or 3 if the drain exceeds -drain-timeout.
+// Usage errors (unknown flags, bad -j, an address already in use) exit 2.
+//
+// With -cache the solver's formula→verdict cache is loaded at startup and
+// saved back after the drain, like achilles-audit run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	_ "achilles/internal/protocols"
+	"achilles/internal/serve"
+	"achilles/internal/solver"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main, factored for the re-exec exit-code tests.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("achillesd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7373", "listen address (use :0 for an ephemeral port)")
+	jobs := fs.Int("j", runtime.NumCPU(), "global analysis worker budget shared by all concurrent jobs")
+	quota := fs.Int("quota", 4, "max in-flight jobs per client before 429 backpressure")
+	store := fs.String("store", "achillesd-store", "content-addressed bundle store directory")
+	cacheFile := fs.String("cache", "", "persistent solver cache file, loaded at startup and saved after the drain")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for running jobs to unwind")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 1 {
+		fmt.Fprintf(stderr, "achillesd: invalid -j %d (must be >= 1)\n", *jobs)
+		fs.Usage()
+		return 2
+	}
+	if *quota < 1 {
+		fmt.Fprintf(stderr, "achillesd: invalid -quota %d (must be >= 1)\n", *quota)
+		fs.Usage()
+		return 2
+	}
+	if *drainTimeout <= 0 {
+		fmt.Fprintf(stderr, "achillesd: invalid -drain-timeout %v (must be > 0)\n", *drainTimeout)
+		fs.Usage()
+		return 2
+	}
+
+	sol := solver.Default()
+	if *cacheFile != "" {
+		if loaded, err := sol.LoadCache(*cacheFile); err == nil {
+			fmt.Fprintf(stdout, "solver cache: loaded %d verdict(s) from %s\n", loaded, *cacheFile)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(stderr, "achillesd: ignoring solver cache: %v\n", err)
+		}
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:     *jobs,
+		ClientQuota: *quota,
+		StoreDir:    *store,
+		Solver:      sol,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "achillesd:", err)
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		// Address in use, bad host, privileged port — all user input problems.
+		fmt.Fprintln(stderr, "achillesd:", err)
+		return 2
+	}
+	// The signal handler must be in place before the listen address is
+	// announced: the announcement is what tells supervisors (and the re-exec
+	// tests) the daemon is ready, and a SIGTERM that lands before Notify
+	// would kill the process instead of draining it.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "achillesd: listening on %s (workers %d, quota %d, store %s)\n",
+		ln.Addr(), *jobs, *quota, *store)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(stdout, "achillesd: %v — draining\n", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "achillesd:", err)
+		return 1
+	}
+	signal.Stop(sigCh)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain the jobs. In-flight event
+	// streams end on their own once every job reaches its terminal state.
+	httpSrv.Shutdown(ctx)
+	drainErr := srv.Shutdown(ctx)
+	if *cacheFile != "" {
+		if err := sol.SaveCache(*cacheFile); err != nil {
+			fmt.Fprintln(stderr, "achillesd:", err)
+		} else {
+			fmt.Fprintf(stdout, "solver cache: saved to %s\n", *cacheFile)
+		}
+	}
+	if drainErr != nil {
+		fmt.Fprintln(stderr, "achillesd:", drainErr)
+		return 3
+	}
+	fmt.Fprintln(stdout, "achillesd: drained cleanly")
+	return 0
+}

@@ -1,0 +1,10 @@
+package achilles
+
+// SetEventBufferForTest shrinks the Events channel capacity so the overflow
+// path can be forced deterministically, and returns a restore func for
+// t.Cleanup.
+func SetEventBufferForTest(n int) (restore func()) {
+	old := eventBuffer
+	eventBuffer = n
+	return func() { eventBuffer = old }
+}

@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -130,6 +132,39 @@ func (b *Bundle) JobKeys() []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// ContentHash returns the bundle's content address: a SHA-256 (hex, 128-bit
+// truncation) over the stable analysis content — the tool revision, the
+// interrupted flag, and per job (in key order) its identity, error,
+// truncated flag, input fingerprint and the exact report-stream bytes Write
+// would produce. Volatile metadata (CreatedAt, WallMS, the -j budget, solver
+// counters, baseline provenance, the Cached marks) is excluded, so two
+// campaigns that found exactly the same thing hash identically whatever
+// machine, parallelism or cache warmth produced them. The achillesd bundle
+// store uses this as the storage key, which makes persistence idempotent:
+// re-auditing an unchanged fleet re-derives the same address.
+func (b *Bundle) ContentHash() (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\n%s\ninterrupted=%v\n", b.Manifest.FormatVersion, b.Manifest.Tool, b.Manifest.Interrupted)
+	runs := append([]RunManifest{}, b.Manifest.Runs...)
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Key() < runs[j].Key() })
+	for _, rm := range runs {
+		fmt.Fprintf(h, "job %s error=%q truncated=%v fingerprint=%s classes=%d\n",
+			rm.Key(), rm.Error, rm.Truncated, rm.InputFingerprint, rm.Classes)
+		if rm.Error != "" {
+			continue
+		}
+		for _, r := range b.Reports[rm.Key()] {
+			line, err := json.Marshal(r)
+			if err != nil {
+				return "", fmt.Errorf("campaign: hash report %s: %w", rm.Key(), err)
+			}
+			h.Write(line)
+			h.Write([]byte{'\n'})
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))[:32], nil
 }
 
 // reportFileName maps a job to its JSONL file inside the bundle directory.

@@ -62,6 +62,10 @@ type Job struct {
 // Key is the job's stable identity in manifests and diffs.
 func (j Job) Key() string { return j.Target + "/" + j.Mode.String() }
 
+// ReportFile returns the name of the job's JSONL report stream inside a
+// bundle directory.
+func (j Job) ReportFile() string { return reportFileName(j) }
+
 // Options configure a campaign run.
 type Options struct {
 	// Targets lists registry names to audit; empty means every registered
@@ -390,10 +394,18 @@ func runJob(ctx context.Context, j Job, d registry.Descriptor, ok bool, parallel
 	rm.ClientPaths = len(run.Clients.Paths)
 	rm.Truncated = run.Truncated()
 	rm.Counters = Counters(run.Counters())
+	return rm, ReportsFromRun(tgt.FieldNames, run.Analysis.Trojans)
+}
 
-	reports := make([]Report, 0, len(run.Analysis.Trojans))
-	fields := tgt.FieldNames
-	for _, tr := range run.Analysis.Trojans {
+// ReportsFromRun converts a completed analysis' Trojan classes into the
+// bundle report stream, in canonical class-line order — so a bundle is a
+// deterministic function of the class set, independent of discovery order
+// and parallelism. Every producer of persisted reports (the campaign engine,
+// the achillesd serving layer) must go through this conversion: it is what
+// makes daemon-produced bundles byte-identical to CLI-produced ones.
+func ReportsFromRun(fields []string, trojans []core.TrojanReport) []Report {
+	reports := make([]Report, 0, len(trojans))
+	for _, tr := range trojans {
 		rep := Report{
 			Fingerprint: tr.Fingerprint(),
 			ClassID:     tr.ClassID(),
@@ -412,9 +424,6 @@ func runJob(ctx context.Context, j Job, d registry.Descriptor, ok bool, parallel
 		}
 		reports = append(reports, rep)
 	}
-	// Reports are persisted in canonical class-line order so a bundle is a
-	// deterministic function of the class set, independent of discovery
-	// order and parallelism.
 	sort.Slice(reports, func(a, b int) bool { return reports[a].Class < reports[b].Class })
-	return rm, reports
+	return reports
 }

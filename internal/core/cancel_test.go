@@ -3,13 +3,13 @@ package core
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"achilles/internal/lang"
+	"achilles/internal/testutil"
 )
 
 // deepTarget returns a target whose server phase explores 2^8 accepting
@@ -80,7 +80,7 @@ func TestRunCtxCancelMidFrontier(t *testing.T) {
 	}
 	fullClasses := classSet(full)
 
-	before := runtime.NumGoroutine()
+	testutil.CheckGoroutineLeak(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var once sync.Once
@@ -115,14 +115,6 @@ func TestRunCtxCancelMidFrontier(t *testing.T) {
 		if !tr.VerifiedNotClient {
 			t.Fatalf("partial run kept an unverified report: %+v", tr)
 		}
-	}
-
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if now := runtime.NumGoroutine(); now > before {
-		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, now)
 	}
 }
 

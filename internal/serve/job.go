@@ -1,0 +1,425 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"achilles"
+	"achilles/internal/campaign"
+	"achilles/internal/core"
+)
+
+// Request is the submission body of POST /v1/jobs: which targets to audit,
+// in which modes, and the session knobs. Unknown fields are rejected — a
+// misspelled option must fail loudly, not silently audit with defaults.
+type Request struct {
+	// Targets lists registry names to audit; at least one is required.
+	Targets []string `json:"targets"`
+	// Modes lists analysis modes per target; empty means optimized only.
+	Modes []string `json:"modes,omitempty"`
+	// Parallelism is the worker count the job asks for; it is clamped to
+	// [1, the daemon's global -j budget] and the whole amount is leased from
+	// that budget while the job runs.
+	Parallelism int `json:"parallelism,omitempty"`
+	// MaxStates optionally bounds either engine's exploration (the runaway
+	// backstop); truncated units are flagged in the manifest.
+	MaxStates int `json:"max_states,omitempty"`
+	// FirstTrojan stops each unit at its first confirmed class — the
+	// "vulnerable at all?" triage mode.
+	FirstTrojan bool `json:"first_trojan,omitempty"`
+}
+
+// Job states reported by the status endpoint and the done event.
+const (
+	stateQueued    = "queued"    // waiting for worker-budget admission
+	stateRunning   = "running"   // sessions in flight
+	stateDone      = "done"      // all units ran (individual units may have failed)
+	stateCancelled = "cancelled" // cancelled by the client or a daemon drain
+	stateFailed    = "failed"    // the job itself failed (e.g. bundle store error)
+)
+
+// job is one submitted audit: a planned list of target×mode units run as
+// sequential achilles.Start sessions under a single worker lease.
+type job struct {
+	id     string
+	client string
+	req    Request
+	units  []campaign.Job
+	par    int // granted parallelism (clamped request)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	bcast  *broadcaster
+	done   chan struct{} // closed by finishJob, after the last publish
+
+	created time.Time
+
+	mu       sync.Mutex
+	state    string
+	err      string
+	runs     []campaign.RunManifest
+	classes  int
+	bundle   string // content hash once persisted
+	finished time.Time
+}
+
+// UnitStatus is the wire shape of one target×mode unit in a job status.
+type UnitStatus struct {
+	Key       string `json:"key"`
+	Classes   int    `json:"classes"`
+	Truncated bool   `json:"truncated,omitempty"`
+	WallMS    int64  `json:"wall_ms"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JobStatus is the wire shape of GET /v1/jobs/{id} and the done event.
+type JobStatus struct {
+	ID          string       `json:"id"`
+	Client      string       `json:"client"`
+	State       string       `json:"state"`
+	Targets     []string     `json:"targets"`
+	Modes       []string     `json:"modes"`
+	Parallelism int          `json:"parallelism"`
+	CreatedAt   string       `json:"created_at"`
+	Units       []UnitStatus `json:"units,omitempty"`
+	Classes     int          `json:"classes"`
+	Bundle      string       `json:"bundle,omitempty"`
+	Error       string       `json:"error,omitempty"`
+	// DroppedEvents counts events discarded across all of the daemon's
+	// subscriber streams — see the events endpoint contract.
+	EventsURL string `json:"events_url"`
+}
+
+// planJob validates a request against the daemon's catalog and expands it
+// into the deterministic (target, mode) unit list — the same canonical
+// order campaign.Plan produces, so a daemon bundle lines up with a CLI
+// bundle job for job.
+func (s *Server) planJob(req Request) ([]campaign.Job, int, error) {
+	if len(req.Targets) == 0 {
+		return nil, 0, fmt.Errorf("request selects no target")
+	}
+	if req.MaxStates < 0 {
+		return nil, 0, fmt.Errorf("max_states %d is negative", req.MaxStates)
+	}
+	names := make([]string, len(req.Targets))
+	for i, n := range req.Targets {
+		d, ok := s.lookup(n)
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown target %q", n)
+		}
+		names[i] = d.Name
+	}
+	sort.Strings(names)
+	modes := []core.Mode{core.ModeOptimized}
+	if len(req.Modes) > 0 {
+		modes = modes[:0]
+		for _, name := range req.Modes {
+			if name == "" {
+				return nil, 0, fmt.Errorf("empty mode name")
+			}
+			m, err := core.ParseMode(name)
+			if err != nil {
+				return nil, 0, err
+			}
+			modes = append(modes, m)
+		}
+	}
+	var units []campaign.Job
+	seen := map[string]bool{}
+	for _, n := range names {
+		for _, m := range modes {
+			u := campaign.Job{Target: n, Mode: m}
+			if seen[u.Key()] {
+				continue
+			}
+			seen[u.Key()] = true
+			units = append(units, u)
+		}
+	}
+	par := req.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > s.cfg.Workers {
+		par = s.cfg.Workers
+	}
+	return units, par, nil
+}
+
+// runJob is the job goroutine: lease workers from the global budget, run
+// every unit as a session, persist the bundle, publish the terminal state.
+func (s *Server) runJob(j *job) {
+	defer s.wg.Done()
+	defer s.releaseClient(j.client)
+
+	// Admission: the whole lease is granted atomically and FIFO (see wsem),
+	// so a queued job can never deadlock against another partial acquirer
+	// and never starves behind a stream of small jobs.
+	if err := s.sem.acquire(j.ctx, j.par); err != nil {
+		// Cancelled while queued: every planned unit is recorded as
+		// interrupted so the artifact stays complete.
+		runs := make([]campaign.RunManifest, 0, len(j.units))
+		for _, u := range j.units {
+			runs = append(runs, interruptedUnit(u, err))
+		}
+		s.finishJob(j, runs, nil, err)
+		return
+	}
+	defer s.sem.release(j.par)
+	s.setJobState(j, stateRunning)
+
+	runs := make([]campaign.RunManifest, 0, len(j.units))
+	reports := map[string][]campaign.Report{}
+	for _, u := range j.units {
+		rm, reps := s.runUnit(j, u)
+		runs = append(runs, rm)
+		if rm.Error == "" {
+			reports[u.Key()] = reps
+		}
+	}
+	s.finishJob(j, runs, reports, j.ctx.Err())
+}
+
+// interruptedUnit mirrors the campaign engine's manifest entry for a unit
+// the cancellation prevented from running.
+func interruptedUnit(u campaign.Job, cause error) campaign.RunManifest {
+	return campaign.RunManifest{
+		Target:     u.Target,
+		Mode:       u.Mode.String(),
+		ReportFile: u.ReportFile(),
+		Error:      "interrupted: " + cause.Error(),
+	}
+}
+
+// runUnit executes one target×mode analysis as a cancellable session on the
+// daemon's shared solver and converts the outcome into its manifest entry
+// and report stream — the exact conversion (campaign.ReportsFromRun) the
+// CLI campaign engine uses, which is what makes daemon bundles byte-
+// identical to achilles-audit bundles for the same inputs.
+func (s *Server) runUnit(j *job, u campaign.Job) (campaign.RunManifest, []campaign.Report) {
+	rm := campaign.RunManifest{
+		Target:     u.Target,
+		Mode:       u.Mode.String(),
+		ReportFile: u.ReportFile(),
+	}
+	d, ok := s.lookup(u.Target)
+	if !ok {
+		rm.Error = fmt.Sprintf("target %q disappeared from the catalog", u.Target)
+		return rm, nil
+	}
+	rm.InputFingerprint = d.InputFingerprint(u.Mode, campaign.Version)
+	if err := j.ctx.Err(); err != nil {
+		rm.Error = "interrupted: " + err.Error()
+		return rm, nil
+	}
+
+	aopts := d.Analysis
+	aopts.Mode = u.Mode
+	aopts.Parallelism = j.par
+	aopts.Solver = s.solver
+	opts := []achilles.Option{
+		achilles.WithAnalysisOptions(aopts),
+		achilles.WithObserver(unitObserver(j, u.Key())),
+	}
+	if j.req.MaxStates > 0 {
+		opts = append(opts, achilles.WithMaxStates(j.req.MaxStates))
+	}
+	if j.req.FirstTrojan {
+		opts = append(opts, achilles.WithFirstTrojan())
+	}
+
+	tgt := d.Target()
+	t0 := time.Now()
+	sess, err := achilles.Start(j.ctx, tgt, opts...)
+	if err != nil {
+		rm.Error = err.Error()
+		return rm, nil
+	}
+	run, err := sess.Wait()
+	rm.WallMS = time.Since(t0).Milliseconds()
+	if ctxErr := j.ctx.Err(); ctxErr != nil {
+		// A unit cut short mid-exploration is recorded as interrupted and its
+		// partial class set discarded — a stored bundle must never present a
+		// cut-short unit as that target's result (the campaign invariant).
+		s.metrics.sessionsCancelled.Add(1)
+		rm.Error = "interrupted: " + ctxErr.Error()
+		return rm, nil
+	}
+	if err != nil {
+		rm.Error = err.Error()
+		return rm, nil
+	}
+	rm.Classes = len(run.Analysis.Trojans)
+	rm.ClientPaths = len(run.Clients.Paths)
+	rm.Truncated = run.Truncated()
+	rm.Counters = campaign.Counters(run.Counters())
+	return rm, campaign.ReportsFromRun(tgt.FieldNames, run.Analysis.Trojans)
+}
+
+// finishJob assembles the bundle, persists it in the content-addressed
+// store, records the terminal state and closes done. Every publish happens
+// before done closes, so an SSE handler that sees done can drain its channel
+// and know the stream is complete.
+func (s *Server) finishJob(j *job, runs []campaign.RunManifest, reports map[string][]campaign.Report, ctxErr error) {
+	b := &campaign.Bundle{
+		Manifest: campaign.Manifest{
+			FormatVersion: campaign.FormatVersion,
+			Tool:          campaign.Version,
+			Jobs:          j.par,
+			CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+			WallMS:        time.Since(j.created).Milliseconds(),
+			Interrupted:   ctxErr != nil,
+			Runs:          runs,
+		},
+		Reports: map[string][]campaign.Report{},
+	}
+	classes := 0
+	for _, rm := range runs {
+		if rm.Error == "" {
+			classes += rm.Classes
+			b.Reports[rm.Key()] = reports[rm.Key()]
+		}
+	}
+	st := s.solver.Stats()
+	b.Manifest.Solver = campaign.Counters{
+		"queries":      int64(st.Queries),
+		"cache_hits":   int64(st.CacheHits),
+		"cache_misses": int64(st.CacheMisses),
+		"unknowns":     int64(st.Unknowns),
+	}
+
+	state := stateDone
+	var jobErr string
+	if ctxErr != nil {
+		state = stateCancelled
+	}
+	hash, err := s.store.Put(b)
+	if err != nil {
+		state, jobErr = stateFailed, fmt.Sprintf("persist bundle: %v", err)
+	} else {
+		s.metrics.bundlesStored.Add(1)
+	}
+
+	j.mu.Lock()
+	j.state = state
+	j.err = jobErr
+	j.runs = runs
+	j.classes = classes
+	j.bundle = hash
+	j.finished = time.Now()
+	j.mu.Unlock()
+
+	switch state {
+	case stateDone:
+		s.metrics.jobsDone.Add(1)
+	case stateCancelled:
+		s.metrics.jobsCancelled.Add(1)
+	case stateFailed:
+		s.metrics.jobsFailed.Add(1)
+	}
+	j.bcast.publish(jsonEvent(eventState, stateEventPayload{ID: j.id, State: state}), true)
+	close(j.done)
+}
+
+// setJobState records a non-terminal transition and publishes it.
+func (s *Server) setJobState(j *job, state string) {
+	j.mu.Lock()
+	j.state = state
+	j.mu.Unlock()
+	j.bcast.publish(jsonEvent(eventState, stateEventPayload{ID: j.id, State: state}), true)
+}
+
+// jobStatus snapshots a job for the status endpoint and the done event.
+func (s *Server) jobStatus(j *job) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := JobStatus{
+		ID:          j.id,
+		Client:      j.client,
+		State:       j.state,
+		Targets:     append([]string{}, j.req.Targets...),
+		Modes:       append([]string{}, j.req.Modes...),
+		Parallelism: j.par,
+		CreatedAt:   j.created.UTC().Format(time.RFC3339),
+		Classes:     j.classes,
+		Bundle:      j.bundle,
+		Error:       j.err,
+		EventsURL:   "/v1/jobs/" + j.id + "/events",
+	}
+	for _, rm := range j.runs {
+		out.Units = append(out.Units, UnitStatus{
+			Key:       rm.Key(),
+			Classes:   rm.Classes,
+			Truncated: rm.Truncated,
+			WallMS:    rm.WallMS,
+			Error:     rm.Error,
+		})
+	}
+	return out
+}
+
+// wsem is a FIFO weighted semaphore over the daemon's global worker budget.
+// Leases are granted atomically (all n tokens or none), which rules out the
+// partial-acquisition deadlock of counting semaphores, and strictly in
+// arrival order, so a wide job is never starved by a stream of narrow ones.
+type wsem struct {
+	mu      sync.Mutex
+	avail   int
+	waiters []*wsemWaiter
+}
+
+type wsemWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+func newWsem(capacity int) *wsem { return &wsem{avail: capacity} }
+
+// acquire leases n tokens, blocking FIFO until they are free or ctx ends.
+func (s *wsem) acquire(ctx context.Context, n int) error {
+	s.mu.Lock()
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &wsemWaiter{n: n, ready: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		granted := true
+		for i, q := range s.waiters {
+			if q == w {
+				s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if granted {
+			// The grant raced the cancellation: hand the lease back.
+			s.release(n)
+		}
+		return ctx.Err()
+	}
+}
+
+// release returns n tokens and grants queued waiters in FIFO order.
+func (s *wsem) release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	for len(s.waiters) > 0 && s.waiters[0].n <= s.avail {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		close(w.ready)
+	}
+	s.mu.Unlock()
+}

@@ -2,11 +2,11 @@ package symexec
 
 import (
 	"context"
-	"runtime"
 	"testing"
 	"time"
 
 	"achilles/internal/lang"
+	"achilles/internal/testutil"
 )
 
 // wideSrc is a program with 2^12 fork-tree leaves: deep enough that a
@@ -68,7 +68,9 @@ func TestRunCtxCancelMidFrontier(t *testing.T) {
 	if full.Stats.Truncated {
 		t.Fatal("full run unexpectedly truncated")
 	}
-	before := runtime.NumGoroutine()
+	// Engine goroutines (workers + cancellation watcher) must all exit by the
+	// end of the test.
+	testutil.CheckGoroutineLeak(t)
 	for _, par := range []int{1, 8} {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan *Result, 1)
@@ -93,14 +95,6 @@ func TestRunCtxCancelMidFrontier(t *testing.T) {
 				t.Fatalf("par=%d: half-executed state recorded as terminal", par)
 			}
 		}
-	}
-	// Engine goroutines (workers + cancellation watcher) must all exit.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if now := runtime.NumGoroutine(); now > before {
-		t.Fatalf("goroutine leak: %d before, %d after cancellation", before, now)
 	}
 }
 

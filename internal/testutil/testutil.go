@@ -1,0 +1,37 @@
+// Package testutil holds small helpers shared by the repo's test suites.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the current goroutine count and registers a
+// cleanup that fails the test if the count has not returned to the baseline
+// by the time the test ends (polling for up to two seconds first, because
+// cancelled workers unwind asynchronously).
+//
+// Call it before starting the work under test:
+//
+//	func TestCancelSomething(t *testing.T) {
+//		testutil.CheckGoroutineLeak(t)
+//		... start, cancel, assert ...
+//	}
+//
+// It is the standing guard of every cancellation suite — session, engine,
+// core and serve — that tearing down mid-flight analyses leaves no workers,
+// watchers or event pumps behind.
+func CheckGoroutineLeak(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if now := runtime.NumGoroutine(); now > before {
+			t.Errorf("goroutine leak: %d before, %d after", before, now)
+		}
+	})
+}

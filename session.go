@@ -50,8 +50,10 @@ type Event struct {
 
 // eventBuffer is the Events channel capacity. Events are dropped (counted in
 // Session.Dropped) rather than ever blocking the analysis when a consumer
-// falls this far behind; Wait's result is always complete regardless.
-const eventBuffer = 4096
+// falls this far behind; Wait's result is always complete regardless. A
+// variable only so tests can shrink it (see export_test.go) and force the
+// overflow path deterministically.
+var eventBuffer = 4096
 
 // config collects what the functional options build up.
 type config struct {
