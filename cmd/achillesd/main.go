@@ -16,11 +16,14 @@
 //
 // The daemon prints "achillesd: listening on ADDR" once the listener is up
 // (with the resolved port when -addr ends in :0), answers /healthz and
-// /metrics, and drains gracefully on SIGINT/SIGTERM: the listener closes,
-// /healthz flips to 503, running sessions are cancelled mid-frontier and
-// their interrupted bundles persisted, and the process exits 0 once every
-// job goroutine has unwound — or 3 if the drain exceeds -drain-timeout.
-// Usage errors (unknown flags, bad -j, an address already in use) exit 2.
+// /metrics, and drains gracefully on SIGINT/SIGTERM: /healthz flips to 503,
+// running sessions are cancelled mid-frontier and their interrupted bundles
+// persisted, open event streams end with their terminal done event, the
+// listener closes once connections go idle, and the process exits 0 when
+// every job goroutine has unwound — or 3 if the drain exceeds
+// -drain-timeout. A listener failure after startup runs the same drain
+// before exiting 1. Usage errors (unknown flags, bad -j, an address already
+// in use) exit 2.
 //
 // With -cache the solver's formula→verdict cache is loaded at startup and
 // saved back after the drain, like achilles-audit run.
@@ -115,19 +118,29 @@ func run(args []string, stdout, stderr *os.File) int {
 	fmt.Fprintf(stdout, "achillesd: listening on %s (workers %d, quota %d, store %s)\n",
 		ln.Addr(), *jobs, *quota, *store)
 
+	exit := 0
 	select {
 	case sig := <-sigCh:
 		fmt.Fprintf(stdout, "achillesd: %v — draining\n", sig)
 	case err := <-serveErr:
+		// A listener failure is no reason to abandon in-flight jobs: fall
+		// through to the same drain-and-save epilogue the signal path runs,
+		// then report the serve error.
 		fmt.Fprintln(stderr, "achillesd:", err)
-		return 1
+		exit = 1
 	}
 	signal.Stop(sigCh)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Stop accepting connections first, then drain the jobs. In-flight event
-	// streams end on their own once every job reaches its terminal state.
+	// Cancel the jobs before shutting the HTTP server down: an open event
+	// stream only ends once its job is terminal, so the reverse order would
+	// leave httpSrv.Shutdown blocked on live SSE connections for the whole
+	// drain window and then hand srv.Shutdown an already-expired context.
+	// After Drain, streams finish with their done event, connections go
+	// idle, and httpSrv.Shutdown returns; srv.Shutdown then waits for the
+	// job goroutines to persist their (interrupted) bundles and unwind.
+	srv.Drain()
 	httpSrv.Shutdown(ctx)
 	drainErr := srv.Shutdown(ctx)
 	if *cacheFile != "" {
@@ -136,6 +149,9 @@ func run(args []string, stdout, stderr *os.File) int {
 		} else {
 			fmt.Fprintf(stdout, "solver cache: saved to %s\n", *cacheFile)
 		}
+	}
+	if exit != 0 {
+		return exit
 	}
 	if drainErr != nil {
 		fmt.Fprintln(stderr, "achillesd:", drainErr)

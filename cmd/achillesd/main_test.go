@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -61,9 +63,13 @@ func TestUsageErrorsExit2(t *testing.T) {
 }
 
 // TestSigtermDrainsAndExits0: a real achillesd process with a job in flight
-// exits 0 on SIGTERM after draining — the session is cancelled, the
-// interrupted bundle persisted, and the "drained cleanly" line printed. This
-// is the contract the CI smoke job and any process supervisor rely on.
+// AND a live SSE stream attached exits 0 on SIGTERM after draining — the
+// session is cancelled, the interrupted bundle persisted, the open event
+// stream ends with its terminal done event, and the "drained cleanly" line
+// printed. The open stream is the hard part: the drain must cancel jobs
+// before the HTTP shutdown's idle-wait, or the live SSE connection burns
+// the whole -drain-timeout and the process exits 3 instead. This is the
+// contract the CI smoke job and any process supervisor rely on.
 func TestSigtermDrainsAndExits0(t *testing.T) {
 	if args := os.Getenv("ACHILLESD_ARGS"); args != "" {
 		os.Exit(run(strings.Split(args, " "), os.Stdout, os.Stderr))
@@ -116,10 +122,31 @@ func TestSigtermDrainsAndExits0(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var js struct {
+		EventsURL string `json:"events_url"`
+	}
+	if err := json.NewDecoder(jr.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
 	jr.Body.Close()
 	if jr.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %s", jr.Status)
 	}
+	// Attach a live event stream and keep it open across the SIGTERM: the
+	// drain must end it with a done event, not hang on it until the timeout.
+	es, err := http.Get(base + js.EventsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.StatusCode != http.StatusOK {
+		t.Fatalf("events: %s", es.Status)
+	}
+	stream := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(es.Body)
+		es.Body.Close()
+		stream <- string(b)
+	}()
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -136,6 +163,14 @@ func TestSigtermDrainsAndExits0(t *testing.T) {
 	}
 	if !strings.Contains(tail.String(), "drained cleanly") {
 		t.Errorf("drain narrative missing 'drained cleanly':\n%s", tail.String())
+	}
+	select {
+	case body := <-stream:
+		if !strings.Contains(body, "event: done") {
+			t.Errorf("live event stream ended without a done event:\n%s", body)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("live event stream still open after the daemon exited")
 	}
 	// The drained job's bundle — finished or interrupted, depending on where
 	// the TERM landed — made it to the store.

@@ -662,6 +662,86 @@ func TestE2EGracefulShutdown(t *testing.T) {
 	}
 }
 
+// TestE2EShutdownWithLiveEventStream pins the daemon's shutdown ordering
+// (serve.Drain → http.Server.Shutdown → serve.Shutdown) with an SSE stream
+// open on a mid-frontier job — the achillesd SIGTERM path. Drain must end
+// the stream with its terminal done event so the HTTP shutdown's idle-wait
+// returns well inside the drain deadline; shutting the HTTP server down
+// first would block on the live connection for the whole window and leave
+// the job drain an expired context.
+func TestE2EShutdownWithLiveEventStream(t *testing.T) {
+	testutil.CheckGoroutineLeak(t)
+	cfg := serve.Config{Lookup: deepLookup, StoreDir: filepath.Join(t.TempDir(), "store")}
+	srv, ts := daemon(t, cfg)
+
+	js := submit(t, ts, `{"targets":["deep"],"parallelism":8}`, "live")
+	events := streamEvents(t, ts, js.EventsURL, nil)
+	for ev := range events {
+		if ev.Name == "progress" {
+			break
+		}
+		if ev.Name == "done" {
+			t.Fatal("job finished before the shutdown started")
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	srv.Drain()
+	if err := ts.Config.Shutdown(ctx); err != nil {
+		t.Fatalf("HTTP shutdown with a live event stream: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("job drain after HTTP shutdown: %v", err)
+	}
+
+	// The cut-short stream still terminated properly and the interrupted
+	// bundle was persisted before the connections went idle.
+	final := terminalStatus(t, collectUntilDone(t, events, 15*time.Second))
+	if final.State != "cancelled" {
+		t.Fatalf("terminal state = %s, want cancelled", final.State)
+	}
+	if final.Bundle == "" {
+		t.Fatal("drained job persisted no bundle")
+	}
+	if _, err := campaign.Read(filepath.Join(cfg.StoreDir, final.Bundle)); err != nil {
+		t.Fatalf("read drained bundle from the store: %v", err)
+	}
+}
+
+// TestE2ETerminalJobRetention: the job table is bounded — once more
+// terminal jobs than MaxTerminalJobs accumulate, the oldest are evicted
+// (status becomes 404, the listing shrinks) while their bundles survive in
+// the content-addressed store.
+func TestE2ETerminalJobRetention(t *testing.T) {
+	_, ts := daemon(t, serve.Config{MaxTerminalJobs: 1})
+
+	var finals []serve.JobStatus
+	for i := 0; i < 3; i++ {
+		js := submit(t, ts, `{"targets":["kv"]}`, "retain")
+		finals = append(finals, terminalStatus(t,
+			collectUntilDone(t, streamEvents(t, ts, js.EventsURL, nil), 60*time.Second)))
+	}
+
+	var jobs []serve.JobStatus
+	if code := getJSON(t, ts, "/v1/jobs", &jobs); code != http.StatusOK {
+		t.Fatalf("list jobs: HTTP %d", code)
+	}
+	if len(jobs) != 1 || jobs[0].ID != finals[2].ID {
+		t.Fatalf("job table after 3 audits with MaxTerminalJobs=1: %+v", jobs)
+	}
+	for _, old := range finals[:2] {
+		if code := getJSON(t, ts, "/v1/jobs/"+old.ID, nil); code != http.StatusNotFound {
+			t.Errorf("evicted job %s status: HTTP %d, want 404", old.ID, code)
+		}
+	}
+	// Eviction drops bookkeeping, never artifacts: the evicted jobs' bundle
+	// is still served from the store.
+	if code := getJSON(t, ts, "/v1/bundles/"+finals[0].Bundle, nil); code != http.StatusOK {
+		t.Fatalf("evicted job's bundle: HTTP %d, want 200", code)
+	}
+}
+
 // TestE2ELateSubscriberReplay: an event stream opened after the job has
 // already finished replays the full durable history — every state
 // transition, phase and trojan discovery — before its done event. Discovery

@@ -88,8 +88,8 @@ type JobStatus struct {
 	Classes     int          `json:"classes"`
 	Bundle      string       `json:"bundle,omitempty"`
 	Error       string       `json:"error,omitempty"`
-	// DroppedEvents counts events discarded across all of the daemon's
-	// subscriber streams — see the events endpoint contract.
+	// EventsURL is the SSE endpoint for this job's event stream — see the
+	// events endpoint contract for replay and slow-consumer semantics.
 	EventsURL string `json:"events_url"`
 }
 
@@ -320,6 +320,9 @@ func (s *Server) finishJob(j *job, runs []campaign.RunManifest, reports map[stri
 	case stateFailed:
 		s.metrics.jobsFailed.Add(1)
 	}
+	// Retention runs before the done event goes out, so a client that saw a
+	// job finish observes the post-eviction job table.
+	s.evictTerminalJobs()
 	j.bcast.publish(jsonEvent(eventState, stateEventPayload{ID: j.id, State: state}), true)
 	close(j.done)
 }
@@ -402,6 +405,12 @@ func (s *wsem) acquire(ctx context.Context, n int) error {
 				break
 			}
 		}
+		if !granted {
+			// Leaving the queue can unblock it: a waiter behind the
+			// cancelled one whose demand already fits must be granted now,
+			// not when some unrelated holder eventually releases.
+			s.grantLocked()
+		}
 		s.mu.Unlock()
 		if granted {
 			// The grant raced the cancellation: hand the lease back.
@@ -415,11 +424,17 @@ func (s *wsem) acquire(ctx context.Context, n int) error {
 func (s *wsem) release(n int) {
 	s.mu.Lock()
 	s.avail += n
+	s.grantLocked()
+	s.mu.Unlock()
+}
+
+// grantLocked grants head waiters in FIFO order while they fit the
+// available tokens. Callers hold s.mu.
+func (s *wsem) grantLocked() {
 	for len(s.waiters) > 0 && s.waiters[0].n <= s.avail {
 		w := s.waiters[0]
 		s.waiters = s.waiters[1:]
 		s.avail -= w.n
 		close(w.ready)
 	}
-	s.mu.Unlock()
 }

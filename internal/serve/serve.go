@@ -75,6 +75,13 @@ type Config struct {
 	// EventBuffer is the per-subscriber SSE buffer; a consumer further
 	// behind loses events (drop-counted). Values < 1 mean 1024.
 	EventBuffer int
+	// MaxTerminalJobs caps how many terminal (done/cancelled/failed) jobs
+	// the daemon keeps in its job table for status queries and event
+	// replay. Beyond the cap the oldest terminal jobs are evicted — along
+	// with their event histories — so a long-running daemon does not grow
+	// without bound under sustained submissions; the bundles in the store
+	// remain the durable record. Values < 1 mean 512.
+	MaxTerminalJobs int
 }
 
 // Server is one achillesd instance. Create with New, mount Handler, drain
@@ -107,6 +114,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.EventBuffer < 1 {
 		cfg.EventBuffer = 1024
+	}
+	if cfg.MaxTerminalJobs < 1 {
+		cfg.MaxTerminalJobs = 512
 	}
 	store, err := newStore(cfg.StoreDir)
 	if err != nil {
@@ -146,11 +156,16 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Shutdown drains the daemon: new submissions are refused (503), every
-// non-terminal job is cancelled — running sessions unwind mid-frontier and
-// persist interrupted bundles — and Shutdown blocks until all job
-// goroutines have finished or ctx expires. Safe to call more than once.
-func (s *Server) Shutdown(ctx context.Context) error {
+// Drain starts a graceful shutdown without waiting for it: new submissions
+// are refused (503, and /healthz flips to 503) and every non-terminal job
+// is cancelled, so running sessions unwind mid-frontier, interrupted
+// bundles get persisted, and open event streams end with their terminal
+// done event on their own. Callers that front the Server with an
+// http.Server must Drain before http.Server.Shutdown — SSE connections
+// only go idle once their job is terminal, so the reverse order blocks the
+// HTTP shutdown on live streams for its whole deadline. Safe to call more
+// than once.
+func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
 	js := make([]*job, 0, len(s.jobs))
@@ -161,6 +176,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	for _, j := range js {
 		j.cancel()
 	}
+}
+
+// Shutdown drains the daemon (see Drain) and blocks until all job
+// goroutines have finished or ctx expires. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -281,6 +302,46 @@ func (s *Server) getJob(id string) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.jobs[id]
+}
+
+// evictTerminalJobs enforces Config.MaxTerminalJobs: once more terminal
+// jobs than the cap sit in the job table, the oldest are dropped from the
+// table and the submission order — their broadcaster histories with them —
+// so the daemon's memory stays bounded under sustained traffic. Evicted
+// jobs answer 404 afterwards; their bundles in the content-addressed store
+// are the durable record. Queued and running jobs are never evicted.
+func (s *Server) evictTerminalJobs() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := make([]string, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j == nil {
+			continue
+		}
+		j.mu.Lock()
+		st := j.state
+		j.mu.Unlock()
+		if st == stateDone || st == stateCancelled || st == stateFailed {
+			terminal = append(terminal, id)
+		}
+	}
+	excess := len(terminal) - s.cfg.MaxTerminalJobs
+	if excess <= 0 {
+		return
+	}
+	drop := make(map[string]bool, excess)
+	for _, id := range terminal[:excess] {
+		drop[id] = true
+		delete(s.jobs, id)
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if !drop[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.order = kept
 }
 
 // handleJobStatus is GET /v1/jobs/{id}.

@@ -87,6 +87,57 @@ func TestWsemCancelWhileQueued(t *testing.T) {
 	}
 }
 
+// TestWsemCancelRegrantsSatisfiableWaiter: when a queued waiter cancels,
+// the grant scan re-runs immediately — a waiter behind it whose demand
+// already fits the free tokens is admitted right away, not when some
+// unrelated holder eventually releases.
+func TestWsemCancelRegrantsSatisfiableWaiter(t *testing.T) {
+	sem := newWsem(3)
+	if err := sem.acquire(context.Background(), 1); err != nil { // 2 free
+		t.Fatal(err)
+	}
+	waitQueue := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			sem.mu.Lock()
+			got := len(sem.waiters)
+			sem.mu.Unlock()
+			if got == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue length %d, want %d", got, n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// B wants 3 (only 2 free: queued); C wants 2 (would fit, behind B).
+	bCtx, cancelB := context.WithCancel(context.Background())
+	bErr := make(chan error, 1)
+	go func() { bErr <- sem.acquire(bCtx, 3) }()
+	waitQueue(1)
+	cGranted := make(chan struct{})
+	go func() {
+		if err := sem.acquire(context.Background(), 2); err != nil {
+			t.Error(err)
+		}
+		close(cGranted)
+	}()
+	waitQueue(2)
+
+	cancelB()
+	if err := <-bErr; err != context.Canceled {
+		t.Fatalf("cancelled acquire = %v, want context.Canceled", err)
+	}
+	// No release happens here: C's grant must come from the cancel itself.
+	select {
+	case <-cGranted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("C (2 tokens, 2 free) stayed queued after the waiter ahead of it cancelled")
+	}
+}
+
 // TestBroadcasterDropsNeverBlocks: a subscriber that stops reading loses
 // overflow events — counted — while publish returns immediately, and the
 // durable history still replays complete to the next subscriber. This is the
