@@ -38,6 +38,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -95,7 +96,24 @@ type Options struct {
 	// generated mutant targets here without registering them globally.
 	// Extras shadow registry entries of the same name and are appended to
 	// the default plan when Targets is empty. Aliases are ignored.
+	//
+	// Extra descriptors carry function values and therefore only execute on
+	// the in-process backend; a distributed Executor fails such jobs with a
+	// "disappeared from the registry" manifest error.
 	Extra []registry.Descriptor
+	// Executor selects the execution backend for jobs that actually run.
+	// Nil means the in-process LocalExecutor (the historical engine); a
+	// dispatch.Coordinator runs jobs on worker subprocesses instead. The
+	// campaign never closes the executor — its creator owns its lifetime.
+	Executor Executor
+	// ShuffleSeed is a scheduling-jitter test hook: when nonzero, the order
+	// jobs are fed to the executor lanes is shuffled deterministically from
+	// this seed instead of following plan order. Results are unaffected —
+	// manifest entries stay in plan order and per-job class sets are
+	// order-independent — so this only perturbs which lane picks up which
+	// job when; the -race stress guard uses it to widen the schedule space
+	// and logs the seed so a failing interleaving can be replayed.
+	ShuffleSeed int64
 }
 
 // lookupTarget resolves a target name against the campaign-local extras
@@ -209,17 +227,15 @@ func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
 	runs := make([]RunManifest, len(jobs))
 	reports := make([][]Report, len(jobs))
 
-	// Resolve every job's descriptor (campaign-local extras first) and
-	// fingerprint it up front: fingerprints decide baseline reuse here and
-	// are recorded in the manifest either way, so THIS bundle can serve as
-	// the next run's baseline.
-	ds := make([]registry.Descriptor, len(jobs))
-	found := make([]bool, len(jobs))
+	// Fingerprint every job up front (campaign-local extras resolve first):
+	// fingerprints decide baseline reuse here and are recorded in the
+	// manifest either way, so THIS bundle can serve as the next run's
+	// baseline — and they are the shard key a distributed executor
+	// partitions the job graph by.
 	fps := make([]string, len(jobs))
 	for i, j := range jobs {
-		ds[i], found[i] = opts.lookupTarget(j.Target)
-		if found[i] {
-			fps[i] = ds[i].InputFingerprint(j.Mode, Version)
+		if d, ok := opts.lookupTarget(j.Target); ok {
+			fps[i] = d.InputFingerprint(j.Mode, Version)
 		}
 	}
 
@@ -233,15 +249,28 @@ func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
 		toRun = append(toRun, i)
 	}
 
-	poolWorkers := budget
-	if poolWorkers > len(toRun) {
-		poolWorkers = len(toRun)
+	exec := opts.Executor
+	if exec == nil {
+		exec = NewLocalExecutor(opts, sol)
 	}
-	perWorker := splitBudget(budget, poolWorkers)
+	pending := make([]PlannedJob, len(toRun))
+	for k, i := range toRun {
+		pending[k] = PlannedJob{Job: jobs[i], Fingerprint: fps[i]}
+	}
+	if opts.ShuffleSeed != 0 {
+		rng := rand.New(rand.NewSource(opts.ShuffleSeed))
+		rng.Shuffle(len(toRun), func(a, b int) { toRun[a], toRun[b] = toRun[b], toRun[a] })
+	}
+	grants := exec.Negotiate(budget, pending)
+	if len(grants) == 0 && len(toRun) > 0 {
+		// Defensive: a backend must never negotiate the fleet to a halt with
+		// jobs still pending. Fall back to one full-budget lane.
+		grants = []int{budget}
+	}
 	var wg sync.WaitGroup
 	next := make(chan int)
-	for w := 0; w < poolWorkers; w++ {
-		w := w
+	for _, grant := range grants {
+		grant := grant
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -249,10 +278,10 @@ func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
 				if ctx.Err() != nil {
 					// Unstarted job after the cancel: record it as
 					// interrupted instead of silently dropping the entry.
-					runs[i] = interruptedManifest(jobs[i], ctx.Err())
+					runs[i] = InterruptedManifest(jobs[i], ctx.Err())
 					continue
 				}
-				runs[i], reports[i] = runJob(ctx, jobs[i], ds[i], found[i], perWorker[w], sol)
+				runs[i], reports[i] = exec.Run(ctx, jobs[i], grant)
 			}
 		}()
 	}
@@ -292,15 +321,23 @@ func RunCtx(ctx context.Context, opts Options) (*Bundle, error) {
 	return b, ctx.Err()
 }
 
-// interruptedManifest records a job the cancellation prevented from running.
-// The Error marking matters beyond display: errored entries carry no report
-// stream and are never reused as a baseline.
-func interruptedManifest(j Job, cause error) RunManifest {
+// InterruptedManifest records a job that cancellation prevented from running
+// (or finishing). The Error marking matters beyond display: errored entries
+// carry no report stream and are never reused as a baseline. Execution
+// backends use it so an interrupted job looks the same whichever backend ran
+// the campaign.
+func InterruptedManifest(j Job, cause error) RunManifest {
+	return ErrorManifest(j, "interrupted: "+cause.Error())
+}
+
+// ErrorManifest records a job that could not run, with the backend's reason —
+// e.g. a distributed backend whose entire worker pool died.
+func ErrorManifest(j Job, msg string) RunManifest {
 	return RunManifest{
 		Target:     j.Target,
 		Mode:       j.Mode.String(),
 		ReportFile: reportFileName(j),
-		Error:      "interrupted: " + cause.Error(),
+		Error:      msg,
 	}
 }
 
@@ -364,7 +401,7 @@ func splitBudget(budget, workers int) []int {
 // entry and report stream. A job cancelled mid-exploration is recorded as
 // interrupted: its partial class set is discarded — a bundle must never
 // present a cut-short job as that target's result.
-func runJob(ctx context.Context, j Job, d registry.Descriptor, ok bool, parallelism int, sol *solver.Solver) (RunManifest, []Report) {
+func runJob(ctx context.Context, j Job, d registry.Descriptor, ok bool, parallelism int, sol *solver.Solver, obs core.Observer) (RunManifest, []Report) {
 	rm := RunManifest{
 		Target:     j.Target,
 		Mode:       j.Mode.String(),
@@ -380,6 +417,7 @@ func runJob(ctx context.Context, j Job, d registry.Descriptor, ok bool, parallel
 	aopts.Mode = j.Mode
 	aopts.Parallelism = parallelism
 	aopts.Solver = sol
+	aopts.Observer = obs
 	run, err := core.RunCtx(ctx, tgt, aopts)
 	rm.WallMS = time.Since(t0).Milliseconds()
 	if ctxErr := ctx.Err(); ctxErr != nil {

@@ -1,7 +1,10 @@
 package campaign
 
 import (
+	"math/rand"
+	"os"
 	"testing"
+	"time"
 )
 
 // TestCampaignRaceStress is the standing guard for the rare data race once
@@ -14,6 +17,12 @@ import (
 // job gets repeated chances to capture a full trace. It also pins
 // determinism: every iteration must produce the same class fingerprints.
 //
+// Each iteration feeds the jobs to the executor lanes in a freshly shuffled
+// order (Options.ShuffleSeed), widening the schedule space beyond the fixed
+// plan order. The seed and the resulting job feed order are logged on every
+// failure path — and visible under -v — so a firing CAN be replayed: rerun
+// with that exact seed instead of starting another blind forty-run hunt.
+//
 // Skipped under -short: at 50 iterations it is a stress guard for the race
 // job, not a unit test.
 func TestCampaignRaceStress(t *testing.T) {
@@ -21,11 +30,41 @@ func TestCampaignRaceStress(t *testing.T) {
 		t.Skip("stress guard: skipped under -short (run by the -race CI job)")
 	}
 	const iterations = 50
+	targets := []string{"kv", "kv-fixed", "pbft"}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(os.Getpid())<<21))
+
+	// feedOrder reproduces RunCtx's shuffled lane-feed order for a seed, so
+	// a failure log shows the exact schedule that was in flight.
+	jobs, err := Plan(Options{Targets: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feedOrder := func(seed int64) []string {
+		order := make([]int, len(jobs))
+		for i := range order {
+			order[i] = i
+		}
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		keys := make([]string, len(order))
+		for k, i := range order {
+			keys[k] = jobs[i].Key()
+		}
+		return keys
+	}
+
 	var want map[string][]string
 	for i := 0; i < iterations; i++ {
-		b, err := Run(Options{Targets: []string{"kv", "kv-fixed", "pbft"}, Jobs: 8})
+		seed := rng.Int63()
+		if seed == 0 {
+			seed = 1 // 0 disables the shuffle hook
+		}
+		// Logged (shown on failure and under -v) so a -race firing names the
+		// schedule that produced it.
+		t.Logf("iteration %d: shuffle seed %d, job feed order %v", i, seed, feedOrder(seed))
+		b, err := Run(Options{Targets: targets, Jobs: 8, ShuffleSeed: seed})
 		if err != nil {
-			t.Fatalf("iteration %d: campaign failed: %v", i, err)
+			t.Fatalf("iteration %d (seed %d, order %v): campaign failed: %v", i, seed, feedOrder(seed), err)
 		}
 		got := map[string][]string{}
 		for key, reps := range b.Reports {
@@ -35,10 +74,10 @@ func TestCampaignRaceStress(t *testing.T) {
 		}
 		for _, rm := range b.Manifest.Runs {
 			if rm.Error != "" {
-				t.Fatalf("iteration %d: job %s failed: %s", i, rm.Key(), rm.Error)
+				t.Fatalf("iteration %d (seed %d, order %v): job %s failed: %s", i, seed, feedOrder(seed), rm.Key(), rm.Error)
 			}
 			if rm.Truncated {
-				t.Fatalf("iteration %d: job %s truncated", i, rm.Key())
+				t.Fatalf("iteration %d (seed %d, order %v): job %s truncated", i, seed, feedOrder(seed), rm.Key())
 			}
 		}
 		if i == 0 {
@@ -46,16 +85,17 @@ func TestCampaignRaceStress(t *testing.T) {
 			continue
 		}
 		if len(got) != len(want) {
-			t.Fatalf("iteration %d: %d report streams, want %d", i, len(got), len(want))
+			t.Fatalf("iteration %d (seed %d, order %v): %d report streams, want %d", i, seed, feedOrder(seed), len(got), len(want))
 		}
 		for key, fps := range want {
 			gfps := got[key]
 			if len(gfps) != len(fps) {
-				t.Fatalf("iteration %d: job %s has %d classes, want %d", i, key, len(gfps), len(fps))
+				t.Fatalf("iteration %d (seed %d, order %v): job %s has %d classes, want %d", i, seed, feedOrder(seed), key, len(gfps), len(fps))
 			}
 			for j := range fps {
 				if gfps[j] != fps[j] {
-					t.Fatalf("iteration %d: job %s class %d fingerprint drift: %s != %s", i, key, j, gfps[j], fps[j])
+					t.Fatalf("iteration %d (seed %d, order %v): job %s class %d fingerprint drift: %s != %s",
+						i, seed, feedOrder(seed), key, j, gfps[j], fps[j])
 				}
 			}
 		}

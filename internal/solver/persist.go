@@ -1,9 +1,13 @@
 package solver
 
-// Persistence of the verdict cache. A cache file makes even a forced cold
-// campaign warm: the canonical query rendering (queryKey) is the entry key,
-// so any process that re-issues a structurally identical query — across
-// targets, runs and days — replays the verdict instead of re-solving it.
+// Persistence and exchange of the verdict cache. A cache file makes even a
+// forced cold campaign warm: the canonical query rendering (queryKey) is the
+// entry key, so any process that re-issues a structurally identical query —
+// across targets, runs and days — replays the verdict instead of re-solving
+// it. The same CacheEntry encoding travels over the distributed campaign's
+// wire protocol (internal/dispatch): workers ship newly learned verdicts
+// back to the coordinator as deltas, and the coordinator rebroadcasts them,
+// so a verdict proved anywhere in the fleet is reused everywhere.
 //
 // The file is defensive in both directions:
 //
@@ -11,11 +15,16 @@ package solver
 //     header line; LoadCache rejects a file written by either a different
 //     layout or a different decision procedure (ErrCacheVersion), because a
 //     stale verdict is worse than a cold cache;
+//   - writing goes through a temp file + fsync + atomic rename (the same
+//     discipline as the campaign manifest), so a process killed mid-save —
+//     a crashed worker, a second SIGINT — can never leave a torn cache file
+//     at the destination path: readers observe either the previous complete
+//     cache or the new complete cache, nothing in between;
 //   - loading never trusts blindly: entries are marked "loaded" and
 //     re-verified on first use (see Solver.Check — Sat models re-evaluated
 //     against the live query, a sampled subset of Unsat/Unknown verdicts
 //     re-solved), so a corrupt or hand-edited file cannot inject verdicts
-//     into an analysis.
+//     into an analysis. Imported delta entries get the same treatment.
 
 import (
 	"bufio"
@@ -47,30 +56,84 @@ type cacheHeader struct {
 	Solver string `json:"solver"`
 }
 
-// cacheEntry is one persisted verdict line. The key is the canonical query
-// rendering (not a hash), so a loaded entry can never alias a different
-// formula — the same soundness argument as the in-memory cache.
-type cacheEntry struct {
+// CacheEntry is one verdict in wire form — the JSONL line layout shared by
+// cache files (SaveCache/LoadCache) and the distributed campaign's
+// cache-delta exchange (ExportCache/ImportCache over internal/dispatch).
+// The key is the canonical query rendering (not a hash), so an entry can
+// never alias a different formula — the same soundness argument as the
+// in-memory cache.
+type CacheEntry struct {
 	Key   string   `json:"k"`
 	Res   int      `json:"r"`
 	Model expr.Env `json:"m,omitempty"`
 }
 
+// valid reports whether the entry could have been produced by this solver
+// revision: a usable key and a verdict in range.
+func (e CacheEntry) valid() bool {
+	return e.Key != "" && e.Res >= int(Unsat) && e.Res <= int(Unknown)
+}
+
+// ExportCache snapshots every cached verdict as wire entries, sorted by key
+// so identical caches export identically. It returns ErrCacheDisabled on a
+// cache-less solver.
+func (s *Solver) ExportCache() ([]CacheEntry, error) {
+	if s.cache == nil {
+		return nil, ErrCacheDisabled
+	}
+	keys, verdicts := s.cache.snapshot()
+	out := make([]CacheEntry, len(keys))
+	for i := range keys {
+		out[i] = CacheEntry{Key: keys[i], Res: int(verdicts[i].res), Model: verdicts[i].model}
+	}
+	return out, nil
+}
+
+// ImportCache merges wire entries into the verdict cache and returns how
+// many were stored. The import is all-or-nothing on validation: every entry
+// is checked first, and one malformed entry (empty key, out-of-range
+// verdict) rejects the whole batch with zero entries merged. Accepted
+// entries are marked loaded — re-verified on first use exactly like entries
+// from a cache file, because a delta that crossed a process boundary is no
+// more trustworthy than one that crossed a filesystem. Imported entries
+// never displace verdicts the live process has already computed, and
+// entries beyond a shard's capacity are dropped rather than evicting
+// anything.
+func (s *Solver) ImportCache(entries []CacheEntry) (int, error) {
+	if s.cache == nil {
+		return 0, ErrCacheDisabled
+	}
+	for i, ent := range entries {
+		if !ent.valid() {
+			return 0, fmt.Errorf("solver: import cache entry %d: invalid (empty key or verdict %d)", i, ent.Res)
+		}
+	}
+	merged := 0
+	for _, ent := range entries {
+		if s.cache.putIfAbsent(ent.Key, verdict{res: Result(ent.Res), model: ent.Model, loaded: true}) {
+			merged++
+		}
+	}
+	return merged, nil
+}
+
 // SaveCache writes the current verdict cache to path: a JSON header line
 // (layout version + solver revision) followed by one JSON entry per verdict,
 // sorted by key so identical caches produce identical files. The write goes
-// through a temp file + rename, so readers never observe a half-written
-// cache.
+// through a temp file + fsync + atomic rename, so a reader never observes a
+// half-written cache — not even when the writing process is killed mid-save
+// or the machine loses power between the write and the rename.
 func (s *Solver) SaveCache(path string) error {
-	if s.cache == nil {
-		return ErrCacheDisabled
+	entries, err := s.ExportCache()
+	if err != nil {
+		return err
 	}
-	keys, verdicts := s.cache.snapshot()
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".solver-cache-*")
 	if err != nil {
 		return fmt.Errorf("solver: save cache: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
 	w := bufio.NewWriter(tmp)
 	writeLine := func(v any) error {
 		line, err := json.Marshal(v)
@@ -83,14 +146,19 @@ func (s *Solver) SaveCache(path string) error {
 		return w.WriteByte('\n')
 	}
 	err = writeLine(cacheHeader{Format: CacheFileVersion, Solver: Version})
-	for i := range keys {
+	for _, ent := range entries {
 		if err != nil {
 			break
 		}
-		err = writeLine(cacheEntry{Key: keys[i], Res: int(verdicts[i].res), Model: verdicts[i].model})
+		err = writeLine(ent)
 	}
 	if err == nil {
 		err = w.Flush()
+	}
+	// fsync before the rename: the rename must never publish a file whose
+	// contents are still sitting in the page cache of a dying machine.
+	if err == nil {
+		err = tmp.Sync()
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
@@ -98,7 +166,7 @@ func (s *Solver) SaveCache(path string) error {
 	if err != nil {
 		return fmt.Errorf("solver: save cache %s: %w", path, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := os.Rename(tmpName, path); err != nil {
 		return fmt.Errorf("solver: save cache: %w", err)
 	}
 	return nil
@@ -139,18 +207,18 @@ func (s *Solver) LoadCache(path string) (int, error) {
 		return 0, fmt.Errorf("%w: %s was written as format %d / %s, this solver reads format %d / %s",
 			ErrCacheVersion, path, hdr.Format, hdr.Solver, CacheFileVersion, Version)
 	}
-	var entries []cacheEntry
+	var entries []CacheEntry
 	lineNo := 1
 	for sc.Scan() {
 		lineNo++
 		if len(sc.Bytes()) == 0 {
 			continue
 		}
-		var ent cacheEntry
+		var ent CacheEntry
 		if err := json.Unmarshal(sc.Bytes(), &ent); err != nil {
 			return 0, fmt.Errorf("solver: load cache %s:%d: corrupt entry: %w", path, lineNo, err)
 		}
-		if ent.Key == "" || ent.Res < int(Unsat) || ent.Res > int(Unknown) {
+		if !ent.valid() {
 			return 0, fmt.Errorf("solver: load cache %s:%d: invalid entry (empty key or verdict %d)",
 				path, lineNo, ent.Res)
 		}
@@ -159,11 +227,5 @@ func (s *Solver) LoadCache(path string) (int, error) {
 	if err := sc.Err(); err != nil {
 		return 0, fmt.Errorf("solver: load cache %s: %w", path, err)
 	}
-	loaded := 0
-	for _, ent := range entries {
-		if s.cache.putIfAbsent(ent.Key, verdict{res: Result(ent.Res), model: ent.Model, loaded: true}) {
-			loaded++
-		}
-	}
-	return loaded, nil
+	return s.ImportCache(entries)
 }

@@ -113,7 +113,7 @@ func TestCacheLoadRejectsCorruption(t *testing.T) {
 	// merged — "treat the file as cold" has to be literally true.
 	x := v("x")
 	query := []*expr.Expr{expr.Gt(x, c(0)), expr.Lt(x, c(10))}
-	good, _ := json.Marshal(cacheEntry{Key: queryKey(query), Res: int(Unknown)})
+	good, _ := json.Marshal(CacheEntry{Key: queryKey(query), Res: int(Unknown)})
 	partial := filepath.Join(dir, "partial.jsonl")
 	if err := os.WriteFile(partial, []byte(string(hdr)+"\n"+string(good)+"\n{truncat"), 0o644); err != nil {
 		t.Fatal(err)
@@ -140,7 +140,7 @@ func poisonedFile(t *testing.T, res Result, model expr.Env) (string, []*expr.Exp
 	x := v("x")
 	query := []*expr.Expr{expr.Gt(x, c(0)), expr.Lt(x, c(10))}
 	hdr, _ := json.Marshal(cacheHeader{Format: CacheFileVersion, Solver: Version})
-	ent, _ := json.Marshal(cacheEntry{Key: queryKey(query), Res: int(res), Model: model})
+	ent, _ := json.Marshal(CacheEntry{Key: queryKey(query), Res: int(res), Model: model})
 	path := filepath.Join(t.TempDir(), "poisoned.jsonl")
 	if err := os.WriteFile(path, []byte(string(hdr)+"\n"+string(ent)+"\n"), 0o644); err != nil {
 		t.Fatal(err)
@@ -219,6 +219,131 @@ func TestLoadedEntriesNeverDisplaceLiveVerdicts(t *testing.T) {
 	}
 }
 
+// TestSaveCacheCrashSimulation simulates a worker killed mid-save and pins
+// the atomicity contract: the destination path only ever holds a complete
+// cache. A crashed save leaves (at worst) an orphaned temp file in the same
+// directory — which a later LoadCache of the real path never touches and a
+// later SaveCache never mistakes for the destination — while the torn-write
+// failure mode the temp+fsync+rename discipline exists to prevent (a
+// truncated file AT the destination path) is demonstrably rejected by
+// LoadCache, so nothing downstream can mistake it for a valid cache.
+func TestSaveCacheCrashSimulation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.jsonl")
+	warm := Default()
+	seedQueries(warm, 3)
+	if err := warm.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash window: a save that died after writing part of its
+	// temp file but before the rename. The destination must be untouched.
+	torn := filepath.Join(dir, ".solver-cache-crashed")
+	if err := os.WriteFile(torn, want[:len(want)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cold := Default()
+	loaded, err := cold.LoadCache(path)
+	if err != nil {
+		t.Fatalf("crash leftovers broke the real cache: %v", err)
+	}
+	if loaded != 6 {
+		t.Fatalf("loaded %d entries next to crash leftovers, want 6", loaded)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != string(want) {
+		t.Fatal("destination cache changed by a crashed save")
+	}
+
+	// A fresh save over the same path succeeds and ignores the orphan.
+	if err := warm.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); string(got) != string(want) {
+		t.Fatal("re-save over crash leftovers corrupted the cache")
+	}
+
+	// The counterfactual the discipline prevents: a torn file AT the
+	// destination (what a non-atomic writer killed mid-write would leave) is
+	// rejected outright — zero entries merged, error returned.
+	tornDst := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(tornDst, want[:len(want)-7], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := Default().LoadCache(tornDst); err == nil || n != 0 {
+		t.Fatalf("torn destination file accepted: %d entries, err=%v", n, err)
+	}
+}
+
+// TestCacheExportImportRoundTrip: ExportCache/ImportCache (the delta-exchange
+// surface) carry exactly what SaveCache/LoadCache persist — verdicts merge
+// into a cold solver, imports are marked for first-use re-verification, and
+// a malformed batch is rejected all-or-nothing.
+func TestCacheExportImportRoundTrip(t *testing.T) {
+	warm := Default()
+	seedQueries(warm, 4)
+	entries, err := warm.ExportCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Fatalf("exported %d entries, want 8", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].Key >= entries[i].Key {
+			t.Fatal("export not sorted by key")
+		}
+	}
+
+	cold := Default()
+	merged, err := cold.ImportCache(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 8 {
+		t.Fatalf("merged %d entries, want 8", merged)
+	}
+	// Imported verdicts answer the replayed queries from cache, and none of
+	// them contradict a fresh solve (faithful transfer).
+	seedQueries(cold, 4)
+	st := cold.Stats()
+	if st.CacheHits < 7 {
+		t.Errorf("only %d of 8 replayed queries hit the imported cache", st.CacheHits)
+	}
+	if st.ReverifyFailed != 0 {
+		t.Errorf("%d imported verdicts failed re-verification", st.ReverifyFailed)
+	}
+	if st.Reverified == 0 {
+		t.Error("imported verdicts were trusted without re-verification")
+	}
+
+	// Re-import is idempotent: nothing merges twice.
+	if merged, err = cold.ImportCache(entries); err != nil || merged != 0 {
+		t.Errorf("re-import merged %d entries (err=%v), want 0", merged, err)
+	}
+
+	// All-or-nothing validation: one bad entry rejects the whole batch.
+	victim := Default()
+	bad := append(append([]CacheEntry{}, entries[:2]...), CacheEntry{Key: "", Res: int(Sat)})
+	if merged, err = victim.ImportCache(bad); err == nil || merged != 0 {
+		t.Errorf("batch with invalid entry merged %d entries (err=%v)", merged, err)
+	}
+	if got, _ := victim.ExportCache(); len(got) != 0 {
+		t.Errorf("invalid batch left %d entries behind", len(got))
+	}
+
+	if _, err := New(Options{DisableCache: true}).ExportCache(); !errors.Is(err, ErrCacheDisabled) {
+		t.Errorf("disabled cache export: want ErrCacheDisabled, got %v", err)
+	}
+	if _, err := New(Options{DisableCache: true}).ImportCache(entries); !errors.Is(err, ErrCacheDisabled) {
+		t.Errorf("disabled cache import: want ErrCacheDisabled, got %v", err)
+	}
+}
+
 // TestCacheFileKeysSurviveJSON pins that canonical query keys (which embed
 // NUL separators) survive the JSON encoding round trip.
 func TestCacheFileKeysSurviveJSON(t *testing.T) {
@@ -226,11 +351,11 @@ func TestCacheFileKeysSurviveJSON(t *testing.T) {
 	if !strings.Contains(key, "\x00") {
 		t.Fatal("canonical key lost its NUL separators")
 	}
-	raw, err := json.Marshal(cacheEntry{Key: key, Res: int(Unknown)})
+	raw, err := json.Marshal(CacheEntry{Key: key, Res: int(Unknown)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back cacheEntry
+	var back CacheEntry
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatal(err)
 	}
