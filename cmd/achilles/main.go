@@ -43,13 +43,18 @@ import (
 )
 
 func listTargets(w *os.File) {
+	// The mode column distinguishes what each target can evidence: every
+	// target has NL models ("nl"); byte-level targets add "wire" (vectors
+	// lower to real frame bytes), and "oracle"/"impl"/"fuzz" mark a
+	// ground-truth oracle, concrete-implementation replay and a black-box
+	// fuzz baseline.
 	fmt.Fprintln(w, "registered targets:")
 	for _, d := range registry.All() {
 		name := d.Name
 		if len(d.Aliases) > 0 {
 			name += " (" + strings.Join(d.Aliases, ", ") + ")"
 		}
-		fmt.Fprintf(w, "  %-24s %s\n", name, d.Summary)
+		fmt.Fprintf(w, "  %-24s %-25s %s\n", name, d.ModeSet(), d.Summary)
 	}
 }
 

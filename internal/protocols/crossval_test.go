@@ -56,14 +56,14 @@ func TestCrossValidation(t *testing.T) {
 	}
 }
 
-// TestRegistryDescriptorsComplete pins the registry's shape: the five
+// TestRegistryDescriptorsComplete pins the registry's shape: the six
 // canonical protocol families are present, and every entry carries the
 // pieces all drivers rely on. The oracle, implementation replay and fuzz
 // spec are optional per the Descriptor contract — the suites above simply
 // skip what is absent — so only the universally required pieces are
 // checked here.
 func TestRegistryDescriptorsComplete(t *testing.T) {
-	for _, name := range []string{"fsp", "pbft", "paxos", "kv", "raft"} {
+	for _, name := range []string{"fsp", "pbft", "paxos", "kv", "raft", "noisehs"} {
 		if _, ok := registry.Lookup(name); !ok {
 			t.Errorf("canonical target %q missing from the registry", name)
 		}

@@ -1,0 +1,165 @@
+package noisehs
+
+// This file is the concrete Go implementation matching the NL models — and,
+// unlike every NL-only target, it really speaks the wire format: frames go
+// in as length-prefixed bytes, are decoded by the same internal/wire schema
+// the models were lifted from, and only then reach the handshake state
+// machine. Its role is the §4 soundness guard (trojan reports replay
+// through HandleFrame over real bytes) and the impact demonstration: a
+// captured legacy handshake frame, delivered twice, establishes two
+// sessions on the vulnerable responder — the replay/session-hijack finding
+// of the toxcore audit, reproduced end to end.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"achilles/internal/wire"
+)
+
+// Session is one established handshake on a responder.
+type Session struct {
+	Version int64
+	KeyID   int64
+	Nonce   int64
+}
+
+// Responder is the byte-level handshake responder. State matches the
+// analysis world: LastNonce is the session replay window, CookieKey the
+// cookie secret. Fixed enables the hardened handler (FixedServerSrc).
+type Responder struct {
+	LastNonce int64
+	CookieKey int64
+	Fixed     bool
+	// Sessions records every established handshake, in arrival order —
+	// a replayed handshake shows up as a duplicate entry.
+	Sessions []Session
+	// Rejected counts frames that failed wire decoding — the structural
+	// failures the model explores through the wire-status field.
+	DecodeFailures int
+}
+
+// NewResponder builds a responder in the given session world.
+func NewResponder(lastNonce, cookieKey int64, fixed bool) *Responder {
+	return &Responder{LastNonce: lastNonce, CookieKey: cookieKey, Fixed: fixed}
+}
+
+// HandleFrame decodes one length-prefixed frame and runs the handshake
+// handler. It reports whether the message was accepted; a frame that fails
+// wire decoding is rejected with the typed *wire.DecodeError (and never
+// reaches the handler — the structural failure the NL model mirrors with
+// its msg[0] != WIRE_OK guard).
+func (r *Responder) HandleFrame(frame []byte) (bool, error) {
+	fields, err := Lifted.S.Decode(frame)
+	if err != nil {
+		r.DecodeFailures++
+		return false, err
+	}
+	return r.handle(fields), nil
+}
+
+// handle is the handshake state machine over decoded wire fields (schema
+// order, no wire-status slot). It mirrors the NL responder models line for
+// line; the replay-window bug is gated on Fixed exactly like the models.
+func (r *Responder) handle(f []int64) bool {
+	version := f[0]
+	msgType := f[1]
+	keyID := f[2]
+	nonce := f[3]
+	cookie := f[4]
+	if version < VersionLegacy || version > VersionCurrent {
+		return false
+	}
+	switch msgType {
+	case MsgHello:
+		return keyID == 0 && cookie == 0 && nonce >= 1 && nonce <= NonceBound
+	case MsgHandshake:
+		if keyID < 1 || keyID > MaxKey {
+			return false
+		}
+		if cookie != Cookie(r.CookieKey, keyID) {
+			return false
+		}
+		if nonce > NonceBound {
+			return false
+		}
+		if version == VersionCurrent || r.Fixed {
+			// Replay window — the fixed responder enforces it on every
+			// version, the vulnerable one on v2 only.
+			if nonce <= r.LastNonce {
+				return false
+			}
+		}
+		if nonce > r.LastNonce {
+			r.LastNonce = nonce
+		}
+		r.Sessions = append(r.Sessions, Session{Version: version, KeyID: keyID, Nonce: nonce})
+		return true
+	}
+	return false
+}
+
+// ServeStream reads length-prefixed frames from rd until EOF, handling
+// each, and returns how many were accepted. Decode failures (including a
+// connection cut mid-frame) reject the frame but keep the responder alive;
+// only transport-level errors other than a typed decode failure stop the
+// loop.
+func (r *Responder) ServeStream(rd io.Reader) (accepted int, err error) {
+	for {
+		frame, err := wire.ReadFrame(rd, Lifted.S.MaxFrame)
+		if err == io.EOF {
+			return accepted, nil
+		}
+		var de *wire.DecodeError
+		if errors.As(err, &de) {
+			r.DecodeFailures++
+			// A short read means the stream ended mid-frame: nothing more
+			// can follow.
+			if de.Outcome == wire.OutcomeShort {
+				return accepted, nil
+			}
+			continue
+		}
+		if err != nil {
+			return accepted, err
+		}
+		if ok, _ := r.HandleFrame(frame); ok {
+			accepted++
+		}
+	}
+}
+
+// InitiatorFrame builds the real frame bytes a correct initiator sends for
+// a keyed handshake: fresh nonce, valid key, matching cookie.
+func InitiatorFrame(version, keyID, nonce, cookieKey int64) ([]byte, error) {
+	return Lifted.S.Encode([]int64{version, MsgHandshake, keyID, nonce, Cookie(cookieKey, keyID)})
+}
+
+// ReplayDemo demonstrates the Trojan's impact over real bytes: a correct
+// legacy-version handshake frame is captured off the wire and delivered to
+// the responder twice. The vulnerable responder establishes a session both
+// times — the second is the attacker's replayed session, sharing the
+// victim's nonce — while the fixed responder accepts exactly one. It
+// returns the session counts of both responders and an error if the
+// demonstration could not run.
+func ReplayDemo() (vulnerable, fixed int, err error) {
+	captured, err := InitiatorFrame(VersionLegacy, 2, StateLastNonce+1, StateCookieKey)
+	if err != nil {
+		return 0, 0, fmt.Errorf("noisehs: building the captured frame: %w", err)
+	}
+	for _, resp := range []*Responder{
+		NewResponder(StateLastNonce, StateCookieKey, false),
+		NewResponder(StateLastNonce, StateCookieKey, true),
+	} {
+		for i := 0; i < 2; i++ {
+			resp.HandleFrame(captured)
+		}
+		if resp.Fixed {
+			fixed = len(resp.Sessions)
+		} else {
+			vulnerable = len(resp.Sessions)
+		}
+	}
+	return vulnerable, fixed, nil
+}

@@ -1,0 +1,313 @@
+// Package noisehs is the first byte-level Achilles target: a noise-style
+// secure-handshake responder modelled on the toxcore transport/noise
+// surfaces whose audit findings (handshake replay, incomplete-handshake
+// cipher-state corruption) read like Achilles target specs. Unlike every
+// NL-only target, its messages live on a real wire format — a magic-tagged,
+// length-prefixed binary frame with big-endian integer fields and a
+// fixed-size static-key byte array — defined once as an internal/wire
+// schema and lifted from there into the NL models, the concrete Go
+// implementation and the replay oracles, so none of them can drift apart.
+//
+// The protocol is a bounded slice of a cookie-based secure handshake:
+//
+//	hello     (type 1): version negotiation + opening nonce; precedes
+//	                    keying, so key and cookie fields must be zero.
+//	handshake (type 2): keyed handshake under a known static key, carrying
+//	                    a cookie bound to that key and a nonce that must
+//	                    advance past the responder's replay window.
+//
+// The responder speaks two protocol versions: legacy v1 and current v2.
+// The seeded vulnerability is a replay-acceptance Trojan: the v2 handshake
+// path enforces the replay window (nonce > lastNonce), but the legacy
+// compatibility path skips the check — so a captured v1 handshake, or a v2
+// handshake replayed with its version field downgraded to 1, is accepted
+// with a stale nonce forever. Correct initiators always send a fresh nonce
+// whatever version they negotiate, which makes every stale-nonce acceptance
+// a Trojan: a message correct servers accept that no correct client
+// generates. This is exactly the class of the toxcore CRIT-1 finding
+// ("Missing Noise Handshake Replay Protection").
+//
+// The wire dimension is analysed too: the lifted message vector carries the
+// decode outcome in msg[0], so the symbolic engine explores truncated
+// frames, oversized length prefixes, trailing bytes, wrong magic and
+// corrupt key padding as first-class message values — and proves the
+// responder model rejects them all (a real decoder fails structurally
+// before the handler runs).
+package noisehs
+
+import (
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+	"achilles/internal/wire"
+)
+
+// Lifted message field indices (msg[0] is the wire-status slot the lift
+// layer prepends to the schema's fields).
+const (
+	FieldWire    = 0
+	FieldVersion = 1
+	FieldType    = 2
+	FieldKeyID   = 3
+	FieldNonce   = 4
+	FieldCookie  = 5
+	NumFields    = 6
+)
+
+// Message types.
+const (
+	MsgHello     = 1
+	MsgHandshake = 2
+)
+
+// Protocol versions: the responder negotiates legacy v1 or current v2.
+const (
+	VersionLegacy  = 1
+	VersionCurrent = 2
+)
+
+// Bounded handshake world: static keys 1..MaxKey are known to the
+// responder, and nonces live in [0, NonceBound] — the same bounded-world
+// idiom the Raft models use for terms, which keeps the replay-window
+// comparison a single-field constraint the §3.2 negate operator handles
+// exactly.
+const (
+	MaxKey     = 3
+	NonceBound = 8
+)
+
+// The canonical responder world used by the bundled targets, the fuzz
+// baseline and the oracles: a session whose replay window has advanced to
+// nonce 5, with cookie secret 9.
+const (
+	StateLastNonce = 5
+	StateCookieKey = 9
+)
+
+// Schema is the wire format: a 0xA7-tagged payload in a length-prefixed
+// frame — version and type bytes, 16 bytes of static-key material, and
+// big-endian u32 nonce and cookie. MaxFrame leaves room above the exact
+// payload size so over-long payloads are a live decode outcome.
+func Schema() *wire.Schema {
+	return wire.NewSchema("noisehs", 0xA7, 48,
+		wire.U8("version"),
+		wire.U8("type"),
+		wire.Bytes("keyid", 16),
+		wire.U32("nonce"),
+		wire.U32("cookie"),
+	)
+}
+
+// Lifted is the lift layer every consumer shares: NL models derive their
+// preamble and wire guards from it, the concrete implementation decodes
+// through it, and trojan replay lowers analysis vectors back to frame
+// bytes with it.
+var Lifted = wire.NewLift(Schema())
+
+// FieldNames names the lifted message layout for reports.
+var FieldNames = Lifted.FieldNames()
+
+// protocolConsts is the handshake-level preamble shared by every model:
+// message types, negotiated versions, the bounded key/nonce world, and the
+// session state globals (pinned concretely per analysis, §3.4).
+const protocolConsts = `
+const HELLO = 1;
+const HS = 2;
+const V_LEGACY = 1;
+const V_CURRENT = 2;
+const MAXKEY = 3;
+const NONCEBOUND = 8;
+var lastNonce int;
+var cookieKey int;
+`
+
+// serverBody assembles the responder model around the handshake handler:
+// the schema-derived prelude and wire guards come from the lift layer, so
+// the model's message layout and field domains cannot drift from the codec.
+func serverBody(handshakePath string) string {
+	return Lifted.Prelude() + protocolConsts + `
+func main() {
+	recv(msg);
+` + Lifted.Guards() + `	// Version negotiation: the responder speaks legacy v1 and current v2.
+	if msg[1] < V_LEGACY { reject(); }
+	if msg[1] > V_CURRENT { reject(); }
+	if msg[2] == HELLO {
+		// A hello precedes keying: no static key, no cookie yet, and an
+		// opening nonce inside the bounded window.
+		if msg[3] != 0 { reject(); }
+		if msg[5] != 0 { reject(); }
+		if msg[4] < 1 { reject(); }
+		if msg[4] > NONCEBOUND { reject(); }
+		accept();
+	}
+	if msg[2] == HS {
+		// Keyed handshake: a known static key and the cookie bound to it.
+		if msg[3] < 1 { reject(); }
+		if msg[3] > MAXKEY { reject(); }
+		if msg[5] != cookieKey + msg[3] { reject(); }
+		if msg[4] > NONCEBOUND { reject(); }
+` + handshakePath + `	}
+	reject();
+}`
+}
+
+// ServerSrc is the NL model of the vulnerable responder: the v2 handshake
+// path enforces the replay window, the legacy path forgets it.
+var ServerSrc = serverBody(`		if msg[1] == V_CURRENT {
+			// Replay window: the nonce must advance past the session floor.
+			if msg[4] <= lastNonce { reject(); }
+			accept();
+		}
+		// BUG (replay Trojan): the legacy compatibility path skips the
+		// replay-window check — a captured v1 handshake, or a replayed v2
+		// handshake with its version byte downgraded, is accepted with a
+		// stale nonce forever.
+		accept();
+`)
+
+// FixedServerSrc enforces the replay window before the version split —
+// "servers should do what correct clients require them to do and not one
+// bit more": correct initiators send fresh nonces on every version, so the
+// window binds every version. Achilles must find no Trojans in it.
+var FixedServerSrc = serverBody(`		// Fixed: the replay window binds every negotiated version.
+		if msg[4] <= lastNonce { reject(); }
+		accept();
+`)
+
+// InitiatorSrc is the NL model of a correct initiator. It negotiates
+// either version, opens with a hello whose unused fields are zero, and —
+// the invariant the vulnerable responder fails to enforce — sends
+// handshake nonces strictly ahead of the session's replay window, which
+// both ends of an established session track (lastNonce is shared session
+// state, pinned to the same concrete world as the responder).
+var InitiatorSrc = Lifted.Prelude() + protocolConsts + `
+func main() {
+	var v int = input();
+	assume(v >= V_LEGACY);
+	assume(v <= V_CURRENT);
+	var kind int = input();
+	if kind == HELLO {
+		var n int = input();
+		assume(n >= 1);
+		assume(n <= NONCEBOUND);
+		msg[0] = WIRE_OK;
+		msg[1] = v;
+		msg[2] = HELLO;
+		msg[3] = 0;
+		msg[4] = n;
+		msg[5] = 0;
+		send(msg);
+		exit();
+	}
+	if kind == HS {
+		var k int = input();
+		assume(k >= 1);
+		assume(k <= MAXKEY);
+		var n int = input();
+		// Freshness: the initiator's session counter is strictly ahead of
+		// the responder's replay window, whatever version it negotiates.
+		assume(n > lastNonce);
+		assume(n <= NONCEBOUND);
+		msg[0] = WIRE_OK;
+		msg[1] = v;
+		msg[2] = HS;
+		msg[3] = k;
+		msg[4] = n;
+		msg[5] = cookieKey + k;
+		send(msg);
+		exit();
+	}
+	exit();
+}`
+
+// DefaultState is the canonical concrete session world.
+func DefaultState() map[string]int64 {
+	return map[string]int64{
+		"lastNonce": StateLastNonce,
+		"cookieKey": StateCookieKey,
+	}
+}
+
+// NewTarget builds the Achilles target for the vulnerable responder in the
+// canonical concrete world. The initiator references the shared session
+// state (lastNonce, cookieKey), so both engine runs pin the same world.
+func NewTarget() core.Target {
+	return core.Target{
+		Name:       "noisehs",
+		Server:     lang.MustCompile(ServerSrc),
+		Clients:    []core.ClientProgram{{Name: "initiator", Unit: lang.MustCompile(InitiatorSrc)}},
+		FieldNames: FieldNames,
+		ServerExec: symexec.Options{GlobalConcrete: DefaultState()},
+		ClientExec: symexec.Options{GlobalConcrete: DefaultState()},
+	}
+}
+
+// NewFixedTarget builds the target for the hardened responder.
+func NewFixedTarget() core.Target {
+	t := NewTarget()
+	t.Name = "noisehs-fixed"
+	t.Server = lang.MustCompile(FixedServerSrc)
+	return t
+}
+
+// Cookie computes the keyed cookie a responder with the given secret
+// issues for a static key.
+func Cookie(cookieKey, keyID int64) int64 { return cookieKey + keyID }
+
+// Accepts mirrors the vulnerable responder model's accept condition in the
+// session world (lastNonce, cookieKey) — the fast oracle used by the
+// fuzzing baseline; the NL interpreter and the concrete byte-level
+// implementation both agree with it (see the package tests and the
+// cross-validation suite).
+func Accepts(msg []int64, lastNonce, cookieKey int64) bool {
+	if len(msg) != NumFields {
+		return false
+	}
+	if msg[FieldWire] != int64(wire.OutcomeOK) {
+		return false
+	}
+	if msg[FieldVersion] < VersionLegacy || msg[FieldVersion] > VersionCurrent {
+		return false
+	}
+	if msg[FieldNonce] < 0 || msg[FieldNonce] > 1<<32-1 {
+		return false
+	}
+	if msg[FieldCookie] < 0 || msg[FieldCookie] > 1<<32-1 {
+		return false
+	}
+	switch msg[FieldType] {
+	case MsgHello:
+		return msg[FieldKeyID] == 0 && msg[FieldCookie] == 0 &&
+			msg[FieldNonce] >= 1 && msg[FieldNonce] <= NonceBound
+	case MsgHandshake:
+		if msg[FieldKeyID] < 1 || msg[FieldKeyID] > MaxKey {
+			return false
+		}
+		if msg[FieldCookie] != Cookie(cookieKey, msg[FieldKeyID]) {
+			return false
+		}
+		if msg[FieldNonce] > NonceBound {
+			return false
+		}
+		// The vulnerable responder checks freshness on v2 only.
+		return msg[FieldVersion] != VersionCurrent || msg[FieldNonce] > lastNonce
+	}
+	return false
+}
+
+// IsTrojan is the ground-truth oracle in the session world: an accepted
+// handshake whose nonce does not advance past the replay window — which
+// the legacy path lets through — is a replayed handshake no correct
+// initiator generates.
+func IsTrojan(msg []int64, lastNonce, cookieKey int64) bool {
+	return Accepts(msg, lastNonce, cookieKey) &&
+		msg[FieldType] == MsgHandshake &&
+		msg[FieldNonce] <= lastNonce
+}
+
+// ReplayedHandshake builds the canonical Trojan example: a legacy-version
+// handshake frame replaying a stale nonce under a valid key and cookie.
+func ReplayedHandshake(keyID, staleNonce, cookieKey int64) []int64 {
+	return []int64{int64(wire.OutcomeOK), VersionLegacy, MsgHandshake,
+		keyID, staleNonce, Cookie(cookieKey, keyID)}
+}

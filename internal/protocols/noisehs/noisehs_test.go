@@ -1,0 +1,239 @@
+package noisehs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"achilles/internal/core"
+	"achilles/internal/lang"
+	"achilles/internal/symexec"
+	"achilles/internal/wire"
+)
+
+// TestAnalysisFindsReplayTrojan pins the seeded vulnerability end to end:
+// the analysis yields verified Trojans, every report satisfies the oracle,
+// every report is a legacy-version handshake replaying a stale nonce, and —
+// the byte-level guarantee no NL-only target can give — every report
+// lowers to real frame bytes the vulnerable responder accepts and the
+// fixed responder refuses.
+func TestAnalysisFindsReplayTrojan(t *testing.T) {
+	run, err := core.Run(NewTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Analysis.Trojans) == 0 {
+		t.Fatal("no Trojans found on the vulnerable responder")
+	}
+	for _, tr := range run.Analysis.Trojans {
+		if !tr.VerifiedAccept || !tr.VerifiedNotClient {
+			t.Errorf("trojan %v not fully verified", tr.Concrete)
+		}
+		if !IsTrojan(tr.Concrete, StateLastNonce, StateCookieKey) {
+			t.Errorf("reported Trojan %v rejected by the oracle", tr.Concrete)
+		}
+		if tr.Concrete[FieldVersion] != VersionLegacy || tr.Concrete[FieldType] != MsgHandshake {
+			t.Errorf("trojan %v is not a legacy handshake (the seeded class)", tr.Concrete)
+		}
+		if tr.Concrete[FieldNonce] > StateLastNonce {
+			t.Errorf("trojan %v carries a fresh nonce", tr.Concrete)
+		}
+		frame, err := Lifted.Lower(tr.Concrete)
+		if err != nil {
+			t.Fatalf("trojan %v does not lower to frame bytes: %v", tr.Concrete, err)
+		}
+		if ok, err := NewResponder(StateLastNonce, StateCookieKey, false).HandleFrame(frame); err != nil || !ok {
+			t.Errorf("vulnerable responder rejected trojan bytes % x (%v)", frame, err)
+		}
+		if ok, _ := NewResponder(StateLastNonce, StateCookieKey, true).HandleFrame(frame); ok {
+			t.Errorf("fixed responder accepted trojan bytes % x", frame)
+		}
+	}
+}
+
+// TestFixedResponderHasNoTrojans pins the patched model.
+func TestFixedResponderHasNoTrojans(t *testing.T) {
+	run, err := core.Run(NewFixedTarget(), core.AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(run.Analysis.Trojans); n != 0 {
+		t.Fatalf("fixed responder reported %d Trojans: %v", n, run.Analysis.Trojans[0].Concrete)
+	}
+}
+
+// TestModelMatchesGoOracle cross-checks the NL responder model's concrete
+// interpretation against the Go Accepts oracle over a sweep that straddles
+// every branch: wire-status classes, both versions plus invalid ones, both
+// message types, keys and nonces on both sides of their bounds, and cookies
+// valid and not.
+func TestModelMatchesGoOracle(t *testing.T) {
+	unit := lang.MustCompile(ServerSrc)
+	for _, w := range []int64{0, int64(wire.OutcomeShort), int64(wire.OutcomeBadMagic)} {
+		for v := int64(0); v <= 3; v++ {
+			for ty := int64(0); ty <= 3; ty++ {
+				for k := int64(-1); k <= MaxKey+1; k++ {
+					for n := int64(0); n <= NonceBound+1; n++ {
+						for _, c := range []int64{0, Cookie(StateCookieKey, k), 12} {
+							msg := []int64{w, v, ty, k, n, c}
+							res, err := symexec.Run(unit, symexec.Options{
+								Concrete:       true,
+								Message:        msg,
+								GlobalConcrete: DefaultState(),
+							})
+							if err != nil {
+								t.Fatal(err)
+							}
+							got := res.States[0].Status == symexec.StatusAccepted
+							want := Accepts(msg, StateLastNonce, StateCookieKey)
+							if got != want {
+								t.Fatalf("model accept=%v, oracle=%v for %v", got, want, msg)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestImplMatchesOracleOverBytes replays the representable message domain
+// through the byte-level responder: every clean vector is encoded to real
+// frame bytes, decoded and handled, and the accept decision must match the
+// oracle. A fresh responder per message keeps the stateful replay window at
+// the canonical world.
+func TestImplMatchesOracleOverBytes(t *testing.T) {
+	for v := int64(0); v <= 3; v++ {
+		for ty := int64(0); ty <= 3; ty++ {
+			for k := int64(0); k <= MaxKey+1; k++ {
+				for n := int64(0); n <= NonceBound+1; n++ {
+					for _, c := range []int64{0, Cookie(StateCookieKey, k), 12} {
+						msg := []int64{int64(wire.OutcomeOK), v, ty, k, n, c}
+						frame, err := Lifted.Lower(msg)
+						if err != nil {
+							t.Fatalf("Lower(%v): %v", msg, err)
+						}
+						got, err := NewResponder(StateLastNonce, StateCookieKey, false).HandleFrame(frame)
+						if err != nil {
+							t.Fatalf("HandleFrame(%v): %v", msg, err)
+						}
+						want := Accepts(msg, StateLastNonce, StateCookieKey)
+						if got != want {
+							t.Fatalf("impl accept=%v, oracle=%v for %v", got, want, msg)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMalformedFramesRejected: every decode-error class the schema can
+// produce, materialised as exemplar bytes, is refused by the responder with
+// a typed error before the handshake logic runs — the behaviour the NL
+// model mirrors with its wire-status guard.
+func TestMalformedFramesRejected(t *testing.T) {
+	for _, c := range Lifted.Outcomes() {
+		vec := ReplayedHandshake(1, StateLastNonce, StateCookieKey)
+		vec[FieldWire] = int64(c)
+		frame, err := Lifted.Lower(vec)
+		if err != nil {
+			t.Fatalf("Lower class %s: %v", c, err)
+		}
+		r := NewResponder(StateLastNonce, StateCookieKey, false)
+		ok, err := r.HandleFrame(frame)
+		if ok {
+			t.Errorf("responder accepted a %s frame", c)
+		}
+		var de *wire.DecodeError
+		if !errors.As(err, &de) || de.Outcome != c {
+			t.Errorf("class %s frame: got error %v", c, err)
+		}
+		if r.DecodeFailures != 1 {
+			t.Errorf("class %s frame: DecodeFailures = %d", c, r.DecodeFailures)
+		}
+	}
+}
+
+// TestInitiatorFrameRoundTrip: real initiator bytes decode back to the
+// lifted vector the analysis reasons about.
+func TestInitiatorFrameRoundTrip(t *testing.T) {
+	frame, err := InitiatorFrame(VersionCurrent, 2, StateLastNonce+1, StateCookieKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Lifted.LiftFrame(frame)
+	want := []int64{int64(wire.OutcomeOK), VersionCurrent, MsgHandshake,
+		2, StateLastNonce + 1, Cookie(StateCookieKey, 2)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lifted initiator frame %v, want %v", got, want)
+		}
+	}
+}
+
+// TestServeStream drives the responder over a byte stream: two good frames
+// accepted, then a mid-frame connection cut rejected without an error
+// escaping the serve loop.
+func TestServeStream(t *testing.T) {
+	hello, err := Lifted.S.Encode([]int64{VersionCurrent, MsgHello, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := InitiatorFrame(VersionCurrent, 1, StateLastNonce+1, StateCookieKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := append(append(append([]byte(nil), hello...), hs...), hs[:3]...)
+	r := NewResponder(StateLastNonce, StateCookieKey, false)
+	accepted, err := r.ServeStream(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 2 {
+		t.Fatalf("stream accepted %d frames, want 2", accepted)
+	}
+	if r.DecodeFailures != 1 {
+		t.Fatalf("stream DecodeFailures = %d, want 1 (the cut frame)", r.DecodeFailures)
+	}
+	if len(r.Sessions) != 1 || r.Sessions[0].Nonce != StateLastNonce+1 {
+		t.Fatalf("sessions after stream: %+v", r.Sessions)
+	}
+}
+
+// TestReplayDemo demonstrates the Trojan's impact over real bytes: the
+// captured legacy handshake establishes two sessions on the vulnerable
+// responder, one on the fixed one.
+func TestReplayDemo(t *testing.T) {
+	vulnerable, fixed, err := ReplayDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vulnerable != 2 {
+		t.Fatalf("vulnerable responder established %d sessions, want 2 (the replay)", vulnerable)
+	}
+	if fixed != 1 {
+		t.Fatalf("fixed responder established %d sessions, want 1", fixed)
+	}
+}
+
+// TestOracleSanity pins hand-picked points of the oracle.
+func TestOracleSanity(t *testing.T) {
+	stale := ReplayedHandshake(2, StateLastNonce, StateCookieKey)
+	if !IsTrojan(stale, StateLastNonce, StateCookieKey) {
+		t.Error("legacy stale-nonce handshake is the seeded Trojan")
+	}
+	fresh := []int64{0, VersionCurrent, MsgHandshake, 2, StateLastNonce + 1, Cookie(StateCookieKey, 2)}
+	if !Accepts(fresh, StateLastNonce, StateCookieKey) || IsTrojan(fresh, StateLastNonce, StateCookieKey) {
+		t.Error("fresh v2 handshake is accepted and not a Trojan")
+	}
+	staleV2 := []int64{0, VersionCurrent, MsgHandshake, 2, StateLastNonce, Cookie(StateCookieKey, 2)}
+	if Accepts(staleV2, StateLastNonce, StateCookieKey) {
+		t.Error("v2 path must enforce the replay window")
+	}
+	badWire := append([]int64(nil), stale...)
+	badWire[FieldWire] = int64(wire.OutcomeBadMagic)
+	if Accepts(badWire, StateLastNonce, StateCookieKey) {
+		t.Error("malformed frames are never accepted")
+	}
+}

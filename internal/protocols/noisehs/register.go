@@ -1,0 +1,90 @@
+package noisehs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"achilles/internal/protocols/registry"
+)
+
+// Generator fuzzes the lifted wire vector over domains that straddle every
+// branch: mostly clean frames (wire status 0) across both versions, both
+// message types and the key/nonce/cookie boundaries, with an occasional
+// malformed-frame class so the wire guard is exercised too.
+func Generator(r *rand.Rand) []int64 {
+	w := int64(0)
+	if r.Intn(8) == 0 {
+		w = int64(1 + r.Intn(5)) // one of the decode-error classes
+	}
+	k := int64(r.Intn(5)) - 1 // keyid: -1..3 (valid keys are 1..3)
+	cookie := int64(r.Intn(16))
+	if r.Intn(2) == 0 {
+		cookie = Cookie(StateCookieKey, k) // often the valid cookie for k
+	}
+	return []int64{
+		w,
+		int64(r.Intn(4)), // version: 0..3 (legacy 1, current 2)
+		int64(r.Intn(4)), // type: 0..3 (HELLO=1, HS=2)
+		k,
+		int64(r.Intn(11)), // nonce: 0..10 (window floor 5, bound 8)
+		cookie,
+	}
+}
+
+// ClassKey buckets Trojans by (version, type, hijacked key): the class
+// structure is which session key a replayed handshake steals, under which
+// negotiated version.
+func ClassKey(msg []int64) string {
+	return fmt.Sprintf("v%d/t%d/key%d/stale-nonce", msg[FieldVersion], msg[FieldType], msg[FieldKeyID])
+}
+
+func world(st registry.State) (lastNonce, cookieKey int64) {
+	return st["lastNonce"], st["cookieKey"]
+}
+
+// implAccepts replays an analysis vector through the byte-level responder:
+// the vector is lowered to real frame bytes (malformed-class vectors become
+// exemplar malformed frames) and delivered to HandleFrame, so the replay
+// exercises the wire decoder as well as the handshake logic.
+func implAccepts(fixed bool) func(msg []int64, st registry.State) bool {
+	return func(msg []int64, st registry.State) bool {
+		frame, err := Lifted.Lower(msg)
+		if err != nil {
+			return false
+		}
+		n, k := world(st)
+		ok, _ := NewResponder(n, k, fixed).HandleFrame(frame)
+		return ok
+	}
+}
+
+func oracle(msg []int64, st registry.State) bool {
+	n, k := world(st)
+	return IsTrojan(msg, n, k)
+}
+
+func init() {
+	registry.Register(registry.Descriptor{
+		Name:          "noisehs",
+		Summary:       "noise-style secure handshake: legacy-version downgrade replays a stale nonce",
+		Target:        NewTarget,
+		DefaultState:  DefaultState(),
+		ExpectTrojans: true,
+		IsTrojan:      oracle,
+		ClassKey:      ClassKey,
+		ImplAccepts:   implAccepts(false),
+		Wire:          Lifted,
+		Fuzz:          &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+	registry.Register(registry.Descriptor{
+		Name:         "noisehs-fixed",
+		Summary:      "noise-style secure handshake with the replay window on every version: no Trojans",
+		Target:       NewFixedTarget,
+		DefaultState: DefaultState(),
+		IsTrojan:     oracle,
+		ClassKey:     ClassKey,
+		ImplAccepts:  implAccepts(true),
+		Wire:         Lifted,
+		Fuzz:         &registry.FuzzSpec{Generator: Generator, Tests: 20000},
+	})
+}

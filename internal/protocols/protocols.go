@@ -21,6 +21,7 @@ import (
 	"achilles/internal/protocols/registry"
 
 	_ "achilles/internal/protocols/kv"
+	_ "achilles/internal/protocols/noisehs"
 	_ "achilles/internal/protocols/paxos"
 	_ "achilles/internal/protocols/pbft"
 	_ "achilles/internal/protocols/raft"

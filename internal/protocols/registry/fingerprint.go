@@ -47,6 +47,13 @@ func (d Descriptor) InputSignature(mode core.Mode) string {
 	fmt.Fprintf(&b, "fields %s\n", strings.Join(t.FieldNames, ","))
 	fmt.Fprintf(&b, "mask %v\n", t.Mask)
 	fmt.Fprintf(&b, "shared-state %v\n", t.SharedState)
+	if d.Wire != nil {
+		// Byte-level targets fold the wire schema in: a codec change moves
+		// the representable message space even when the NL sources are
+		// untouched. NL-only targets render exactly as before, so existing
+		// fingerprints (and cached campaign baselines) stay valid.
+		fmt.Fprintf(&b, "wire %s\n", d.Wire.Signature())
+	}
 	fmt.Fprintf(&b, "analysis skip-concrete-verification=%v\n", d.Analysis.SkipConcreteVerification)
 	execSignature(&b, "server-exec", t.ServerExec)
 	execSignature(&b, "client-exec", t.ClientExec)

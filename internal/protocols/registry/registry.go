@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 
 	"achilles/internal/core"
 	"achilles/internal/fuzz"
+	"achilles/internal/wire"
 )
 
 // State is a concrete world for protocol-local state: variable name (as
@@ -79,6 +81,33 @@ type Descriptor struct {
 	// Fuzz configures the black-box baseline; nil when the target is not
 	// fuzzable.
 	Fuzz *FuzzSpec
+	// Wire is the lift layer bridging the target's analysis vectors and its
+	// real wire format; nil for NL-only targets whose messages never leave
+	// the model domain. When set, trojan vectors can be lowered to concrete
+	// frame bytes and replayed through a byte-speaking implementation.
+	Wire *wire.Lift
+}
+
+// ModeSet renders the target's capability set for listings: which kinds of
+// evidence the registry can produce for it beyond the symbolic analysis
+// every target gets. "wire" marks byte-level targets (messages lower to a
+// real frame format), "oracle" a closed-form ground-truth oracle, "impl"
+// concrete-implementation replay, "fuzz" a black-box baseline.
+func (d Descriptor) ModeSet() string {
+	modes := []string{"nl"}
+	if d.Wire != nil {
+		modes = append(modes, "wire")
+	}
+	if d.IsTrojan != nil {
+		modes = append(modes, "oracle")
+	}
+	if d.ImplAccepts != nil {
+		modes = append(modes, "impl")
+	}
+	if d.Fuzz != nil {
+		modes = append(modes, "fuzz")
+	}
+	return strings.Join(modes, "+")
 }
 
 // FireDrillFunc runs a live fire drill for a target: start a concrete
@@ -226,6 +255,9 @@ func (d Descriptor) Derive(name, summary string, transform func(core.Target) cor
 		},
 		Analysis:     d.Analysis,
 		DefaultState: d.DefaultState,
+		// The wire schema survives derivation: mutants of a byte-level target
+		// still speak the same frame format, so their vectors stay lowerable.
+		Wire: d.Wire,
 	}
 }
 

@@ -1,0 +1,86 @@
+package wire
+
+// Length-prefixed framing: every frame is a big-endian uint16 payload
+// length followed by exactly that many payload bytes. The prefix bounds a
+// frame at 65535 payload bytes; schemas typically impose a much smaller
+// MaxFrame on top. All parse failures are *DecodeError values so transports
+// and tests can branch on the outcome class instead of matching strings.
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// FrameOverhead is the size of the length prefix.
+const FrameOverhead = 2
+
+// MaxFramePayload is the largest payload the u16 prefix can describe.
+const MaxFramePayload = 1<<16 - 1
+
+// AppendFrame appends a length-prefixed frame carrying payload to dst and
+// returns the extended slice. It fails with an *EncodeError when the
+// payload exceeds max (or the prefix's own ceiling).
+func AppendFrame(dst, payload []byte, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFramePayload {
+		max = MaxFramePayload
+	}
+	if len(payload) > max {
+		return nil, encodeErr("", "payload %d bytes exceeds max frame %d", len(payload), max)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(payload)))
+	return append(dst, payload...), nil
+}
+
+// SplitFrame parses one complete frame from data and returns its payload.
+// Failures are typed: a truncated prefix or payload is OutcomeShort, a
+// prefix beyond max is OutcomeOversize, and bytes after the declared
+// payload are OutcomeTrailing.
+func SplitFrame(data []byte, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFramePayload {
+		max = MaxFramePayload
+	}
+	if len(data) < FrameOverhead {
+		return nil, decodeErr(OutcomeShort, "frame %d bytes, length prefix needs %d", len(data), FrameOverhead)
+	}
+	n := int(binary.BigEndian.Uint16(data))
+	if n > max {
+		return nil, decodeErr(OutcomeOversize, "length prefix %d exceeds max frame %d", n, max)
+	}
+	body := data[FrameOverhead:]
+	if len(body) < n {
+		return nil, decodeErr(OutcomeShort, "length prefix promises %d payload bytes, %d follow", n, len(body))
+	}
+	if len(body) > n {
+		return nil, decodeErr(OutcomeTrailing, "%d bytes after the declared payload", len(body)-n)
+	}
+	return body[:n], nil
+}
+
+// ReadFrame reads one complete frame from r and returns the full frame
+// bytes (prefix included). A clean EOF before the first byte returns
+// io.EOF; a connection cut mid-prefix or mid-payload returns an
+// OutcomeShort *DecodeError (io.ErrUnexpectedEOF folded into the typed
+// error), and a prefix beyond max is OutcomeOversize — the caller can drop
+// the connection without reading the oversized payload.
+func ReadFrame(r io.Reader, max int) ([]byte, error) {
+	if max <= 0 || max > MaxFramePayload {
+		max = MaxFramePayload
+	}
+	var prefix [FrameOverhead]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, decodeErr(OutcomeShort, "short read inside length prefix: %v", err)
+	}
+	n := int(binary.BigEndian.Uint16(prefix[:]))
+	if n > max {
+		return nil, decodeErr(OutcomeOversize, "length prefix %d exceeds max frame %d", n, max)
+	}
+	frame := make([]byte, FrameOverhead+n)
+	copy(frame, prefix[:])
+	if _, err := io.ReadFull(r, frame[FrameOverhead:]); err != nil {
+		return nil, decodeErr(OutcomeShort, "short read inside payload: %v", err)
+	}
+	return frame, nil
+}

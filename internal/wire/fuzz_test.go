@@ -1,0 +1,51 @@
+package wire
+
+// FuzzCodec is the native fuzz target the CI fuzz smoke runs: Decode must
+// never panic on arbitrary bytes, every failure must be a typed
+// *DecodeError with a known class, and a frame that decodes cleanly must
+// re-encode to exactly itself (the codec's canonical-representation
+// property — one byte string per message, which is what makes bundle
+// content hashes of byte-level targets deterministic).
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func FuzzCodec(f *testing.F) {
+	s := testSchema()
+	l := NewLift(s)
+	if good, err := s.Encode([]int64{2, 2, 7, 6, 16}); err == nil {
+		f.Add(good)
+		f.Add(good[:len(good)-3])
+		f.Add(append(append([]byte(nil), good...), 0x41))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		msg, err := s.Decode(frame)
+		if err != nil {
+			var de *DecodeError
+			if !errors.As(err, &de) {
+				t.Fatalf("Decode error is %T, want *DecodeError: %v", err, err)
+			}
+			if de.Outcome == OutcomeOK || de.Outcome.ConstName() == "" {
+				t.Fatalf("Decode failed with unknown class %d", de.Outcome)
+			}
+			// The lift layer turns the same failure into a value.
+			if lifted := l.LiftFrame(frame); lifted[WireField] != int64(de.Outcome) {
+				t.Fatalf("LiftFrame class %d disagrees with Decode class %d",
+					lifted[WireField], de.Outcome)
+			}
+			return
+		}
+		again, err := s.Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message %v does not re-encode: %v", msg, err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("Encode(Decode(frame)) != frame:\n in: % x\nout: % x", frame, again)
+		}
+	})
+}

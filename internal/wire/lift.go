@@ -1,0 +1,188 @@
+package wire
+
+// The Lift layer maps decode outcomes onto NL-model predicates. A lifted
+// target's message vector carries the schema's fields behind one extra
+// leading slot, the wire status: msg[0] is OutcomeOK when the frame
+// decoded cleanly and a decode-error class otherwise. The symbolic engine
+// then explores the malformed-byte space exactly as the codec partitions
+// it — each error class is one concrete value of msg[0] — and any server
+// path that accepts a nonzero status, or a field value the wire cannot
+// carry, is a Trojan by construction.
+//
+// Lift also goes the other way: Lower turns an analysis vector back into
+// real frame bytes, fabricating for each decode-error class an exemplar
+// frame that provably exhibits it (Decode maps it back to the same class),
+// so trojan reports replay through concrete byte-speaking implementations.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WireField is the index of the wire-status slot in a lifted vector.
+const WireField = 0
+
+// Lift wraps a Schema with the NL lifting/lowering contract.
+type Lift struct {
+	S *Schema
+}
+
+// NewLift builds the lift layer over a schema.
+func NewLift(s *Schema) *Lift { return &Lift{S: s} }
+
+// NumFields is the lifted vector width: the wire-status slot plus every
+// schema field.
+func (l *Lift) NumFields() int { return 1 + len(l.S.Fields) }
+
+// FieldNames is the lifted message layout for reports: "wire" followed by
+// the schema's field names.
+func (l *Lift) FieldNames() []string {
+	names := make([]string, 0, l.NumFields())
+	names = append(names, "wire")
+	for _, f := range l.S.Fields {
+		names = append(names, f.Name)
+	}
+	return names
+}
+
+// LiftFrame decodes a frame into a lifted vector: status OutcomeOK plus the
+// decoded fields on success, the decode-error class with zeroed fields
+// otherwise. It never fails — failure IS a value, that is the point.
+func (l *Lift) LiftFrame(frame []byte) []int64 {
+	out := make([]int64, l.NumFields())
+	fields, err := l.S.Decode(frame)
+	if err != nil {
+		out[WireField] = int64(outcomeOf(err))
+		return out
+	}
+	copy(out[1:], fields)
+	return out
+}
+
+// outcomeOf extracts the class from a Decode error (OutcomeShort when the
+// error is not a *DecodeError — it cannot happen through Schema.Decode).
+func outcomeOf(err error) Outcome {
+	if de, ok := err.(*DecodeError); ok {
+		return de.Outcome
+	}
+	return OutcomeShort
+}
+
+// Lower renders a lifted vector as concrete frame bytes. Status OutcomeOK
+// encodes the fields directly. A decode-error status produces an exemplar
+// frame exhibiting exactly that class, built by corrupting the encoding of
+// the vector's field part (fields that cannot encode fall back to zero
+// values, which every schema can represent). Lower fails only on a wrong
+// arity or an unknown status class.
+func (l *Lift) Lower(msg []int64) ([]byte, error) {
+	if len(msg) != l.NumFields() {
+		return nil, encodeErr("", "lifted vector has %d slots, schema %s wants %d",
+			len(msg), l.S.Name, l.NumFields())
+	}
+	status := msg[WireField]
+	if status == int64(OutcomeOK) {
+		return l.S.Encode(msg[1:])
+	}
+	if status < 0 || status >= numOutcomes {
+		return nil, encodeErr("wire", "unknown decode-outcome class %d", status)
+	}
+	return l.Malform(Outcome(status), msg[1:])
+}
+
+// Malform fabricates a frame that decodes to exactly the given error class.
+// The frame starts from an encoding of fields (zeroed where
+// unrepresentable) and applies the class's canonical corruption. The
+// Decode(Malform(c)) == c fixed point is pinned by the package tests for
+// every class.
+func (l *Lift) Malform(c Outcome, fields []int64) ([]byte, error) {
+	base, err := l.S.Encode(fields)
+	if err != nil {
+		if base, err = l.S.Encode(make([]int64, len(l.S.Fields))); err != nil {
+			return nil, err
+		}
+	}
+	switch c {
+	case OutcomeShort:
+		// Cut the frame inside the last field: the length prefix promises
+		// more payload bytes than follow.
+		return base[:len(base)-1], nil
+	case OutcomeOversize:
+		// A length prefix beyond MaxFrame; the payload never matters.
+		frame := []byte{byte((l.S.MaxFrame + 1) >> 8), byte(l.S.MaxFrame + 1)}
+		return frame, nil
+	case OutcomeTrailing:
+		// One byte after the declared payload.
+		return append(base, 0x00), nil
+	case OutcomeBadMagic:
+		frame := append([]byte(nil), base...)
+		frame[FrameOverhead] ^= 0xFF
+		return frame, nil
+	case OutcomePad:
+		// Corrupt the first padding byte of the first byte-array field.
+		off := FrameOverhead + 1
+		for _, f := range l.S.Fields {
+			if f.Kind == FieldBytes {
+				frame := append([]byte(nil), base...)
+				frame[off+8] ^= 0xFF
+				return frame, nil
+			}
+			off += f.Width()
+		}
+		return nil, encodeErr("", "schema %s has no bytes field to corrupt", l.S.Name)
+	}
+	return nil, encodeErr("", "unknown decode-outcome class %d", int64(c))
+}
+
+// Outcomes returns the decode-error classes this schema can actually
+// produce (OutcomePad only exists when the schema has a byte-array field).
+func (l *Lift) Outcomes() []Outcome {
+	out := []Outcome{OutcomeShort, OutcomeOversize, OutcomeTrailing, OutcomeBadMagic}
+	for _, f := range l.S.Fields {
+		if f.Kind == FieldBytes {
+			return append(out, OutcomePad)
+		}
+	}
+	return out
+}
+
+// Prelude renders the NL source preamble a lifted model derives from the
+// schema: the WIRE_* outcome constants and the lifted message declaration.
+// Model sources are assembled as Prelude() + protocol constants + handler
+// code, so the message layout in the model can never drift from the codec.
+func (l *Lift) Prelude() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Lifted from wire schema %q: %s\n", l.S.Name, l.S.Signature())
+	fmt.Fprintf(&b, "// msg[0] is the decode outcome; msg[1..%d] the wire fields.\n", len(l.S.Fields))
+	for _, o := range append([]Outcome{OutcomeOK}, l.Outcomes()...) {
+		fmt.Fprintf(&b, "const %s = %d;\n", o.ConstName(), int64(o))
+	}
+	fmt.Fprintf(&b, "var msg [%d]int;\n", l.NumFields())
+	return b.String()
+}
+
+// Guards renders the NL server-side stanza every lifted model opens with:
+// reject any frame that failed to decode, then pin each integer field to
+// the domain its wire width permits — a u8 can never decode outside
+// [0, 255], so the model must not explore (nor accidentally accept) values
+// the codec cannot produce. Byte-array fields decode to the full int64
+// domain and get no width guard.
+func (l *Lift) Guards() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\t// Wire guards (derived from schema %q): a real decoder fails\n", l.S.Name)
+	fmt.Fprintf(&b, "\t// structurally before the handler runs, and field domains are\n")
+	fmt.Fprintf(&b, "\t// pinned by their wire widths.\n")
+	fmt.Fprintf(&b, "\tif msg[0] != WIRE_OK { reject(); }\n")
+	for i, f := range l.S.Fields {
+		if !f.Bounded() {
+			continue
+		}
+		fmt.Fprintf(&b, "\tif msg[%d] < 0 { reject(); }\n", i+1)
+		fmt.Fprintf(&b, "\tif msg[%d] > %d { reject(); }\n", i+1, f.Max())
+	}
+	return b.String()
+}
+
+// Signature renders the lift layer canonically for input fingerprinting.
+func (l *Lift) Signature() string {
+	return fmt.Sprintf("lift/1 %s outcomes=%d", l.S.Signature(), numOutcomes)
+}

@@ -1,0 +1,287 @@
+package wire
+
+// Schema is the declarative building block for binary message layouts: a
+// magic-tagged envelope followed by fixed-width big-endian integer fields
+// and fixed-size opaque byte arrays, the whole payload carried in one
+// length-prefixed frame. A Schema is a Codec: Encode renders a registry
+// field vector as concrete frame bytes, Decode parses arbitrary bytes back
+// with every failure typed by outcome class.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// FieldKind classifies a wire field.
+type FieldKind uint8
+
+// Wire field kinds: big-endian unsigned integers of fixed width, and
+// fixed-size opaque byte arrays (nonce/key material).
+const (
+	FieldU8 FieldKind = iota
+	FieldU16
+	FieldU32
+	FieldBytes
+)
+
+// padXor derives a byte-array field's padding from its value bytes; see
+// Field.decodeBytes.
+const padXor = 0xA5
+
+// Field is one wire field of a Schema.
+type Field struct {
+	// Name is the model-visible field name (it appears in FieldNames and in
+	// trojan reports).
+	Name string
+	// Kind selects the wire representation.
+	Kind FieldKind
+	// Size is the on-wire byte count for FieldBytes (>= 8); derived from
+	// Kind otherwise.
+	Size int
+}
+
+// U8, U16 and U32 declare big-endian unsigned integer fields.
+func U8(name string) Field  { return Field{Name: name, Kind: FieldU8} }
+func U16(name string) Field { return Field{Name: name, Kind: FieldU16} }
+func U32(name string) Field { return Field{Name: name, Kind: FieldU32} }
+
+// Bytes declares a fixed-size opaque byte array of n >= 8 bytes — the
+// building block for nonces, cookies and static-key material. The analysis
+// sees an int64: the array's first 8 bytes, big-endian. The remaining n-8
+// bytes are deterministic padding derived from the value, so the codec's
+// representable slice of the 256^n byte space is exactly the int64 domain;
+// any other byte content decodes to OutcomePad ("corrupt key material") and
+// is explored by the analysis through the wire-status field like every
+// other malformed input.
+func Bytes(name string, n int) Field { return Field{Name: name, Kind: FieldBytes, Size: n} }
+
+// Width is the field's on-wire byte count.
+func (f Field) Width() int {
+	switch f.Kind {
+	case FieldU8:
+		return 1
+	case FieldU16:
+		return 2
+	case FieldU32:
+		return 4
+	case FieldBytes:
+		return f.Size
+	}
+	return 0
+}
+
+// Bounded reports whether the field's decoded domain has a closed [0, Max]
+// range (integer fields); Bytes fields decode to the full int64 domain.
+func (f Field) Bounded() bool { return f.Kind != FieldBytes }
+
+// Max is the largest value the field can decode to (integer fields only).
+func (f Field) Max() int64 {
+	switch f.Kind {
+	case FieldU8:
+		return 1<<8 - 1
+	case FieldU16:
+		return 1<<16 - 1
+	case FieldU32:
+		return 1<<32 - 1
+	}
+	return 0
+}
+
+func (f Field) kindString() string {
+	switch f.Kind {
+	case FieldU8:
+		return "u8"
+	case FieldU16:
+		return "u16"
+	case FieldU32:
+		return "u32"
+	case FieldBytes:
+		return fmt.Sprintf("bytes%d", f.Size)
+	}
+	return "?"
+}
+
+// appendTo encodes value into dst, checking representability.
+func (f Field) appendTo(dst []byte, v int64) ([]byte, error) {
+	switch f.Kind {
+	case FieldU8, FieldU16, FieldU32:
+		if v < 0 || v > f.Max() {
+			return nil, encodeErr(f.Name, "value %d outside %s range [0, %d]", v, f.kindString(), f.Max())
+		}
+		switch f.Kind {
+		case FieldU8:
+			return append(dst, byte(v)), nil
+		case FieldU16:
+			return binary.BigEndian.AppendUint16(dst, uint16(v)), nil
+		default:
+			return binary.BigEndian.AppendUint32(dst, uint32(v)), nil
+		}
+	case FieldBytes:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(v))
+		val := dst[len(dst)-8:]
+		for j := 8; j < f.Size; j++ {
+			dst = append(dst, val[j%8]^padXor)
+		}
+		return dst, nil
+	}
+	return nil, encodeErr(f.Name, "unknown field kind %d", f.Kind)
+}
+
+// decode parses exactly Width bytes into the field's value.
+func (f Field) decode(b []byte) (int64, error) {
+	switch f.Kind {
+	case FieldU8:
+		return int64(b[0]), nil
+	case FieldU16:
+		return int64(binary.BigEndian.Uint16(b)), nil
+	case FieldU32:
+		return int64(binary.BigEndian.Uint32(b)), nil
+	case FieldBytes:
+		v := int64(binary.BigEndian.Uint64(b[:8]))
+		for j := 8; j < f.Size; j++ {
+			if b[j] != b[j%8]^padXor {
+				return 0, decodeErr(OutcomePad, "field %s: padding byte %d is %#02x, want %#02x",
+					f.Name, j, b[j], b[j%8]^padXor)
+			}
+		}
+		return v, nil
+	}
+	return 0, decodeErr(OutcomeShort, "field %s: unknown kind %d", f.Name, f.Kind)
+}
+
+// Schema is a complete wire message layout and the package's canonical
+// Codec implementation.
+type Schema struct {
+	// Name identifies the schema (it seeds the Lift prelude comment and the
+	// input-signature rendering).
+	Name string
+	// Magic is the envelope tag byte opening every payload; a frame whose
+	// first payload byte differs decodes to OutcomeBadMagic.
+	Magic byte
+	// MaxFrame is the largest accepted payload size in bytes. It must be at
+	// least PayloadSize; a length prefix beyond it is OutcomeOversize
+	// before any payload byte is touched.
+	MaxFrame int
+	// Fields is the payload layout after the magic byte, in wire order.
+	Fields []Field
+}
+
+// NewSchema builds and validates a schema. Invalid layouts (no fields,
+// duplicate or empty names, Bytes fields under 8 bytes, MaxFrame below the
+// payload size) are programming errors and panic.
+func NewSchema(name string, magic byte, maxFrame int, fields ...Field) *Schema {
+	s := &Schema{Name: name, Magic: magic, MaxFrame: maxFrame, Fields: fields}
+	if name == "" {
+		panic("wire: schema with empty name")
+	}
+	if len(fields) == 0 {
+		panic("wire: schema " + name + " has no fields")
+	}
+	seen := map[string]bool{}
+	for _, f := range fields {
+		if f.Name == "" {
+			panic("wire: schema " + name + " has an unnamed field")
+		}
+		if seen[f.Name] {
+			panic("wire: schema " + name + " duplicates field " + f.Name)
+		}
+		seen[f.Name] = true
+		if f.Kind == FieldBytes && f.Size < 8 {
+			panic(fmt.Sprintf("wire: schema %s field %s: bytes fields need >= 8 bytes, have %d",
+				name, f.Name, f.Size))
+		}
+		if f.Width() == 0 {
+			panic(fmt.Sprintf("wire: schema %s field %s: unknown kind", name, f.Name))
+		}
+	}
+	if s.MaxFrame == 0 {
+		s.MaxFrame = s.PayloadSize()
+	}
+	if s.MaxFrame < s.PayloadSize() {
+		panic(fmt.Sprintf("wire: schema %s: MaxFrame %d below payload size %d",
+			name, s.MaxFrame, s.PayloadSize()))
+	}
+	// Strictly below the u16 prefix ceiling so that MaxFrame+1 is always
+	// expressible as a length prefix (the OutcomeOversize exemplar).
+	if s.MaxFrame >= MaxFramePayload {
+		panic(fmt.Sprintf("wire: schema %s: MaxFrame %d must stay below the u16 prefix ceiling %d",
+			name, s.MaxFrame, MaxFramePayload))
+	}
+	return s
+}
+
+// PayloadSize is the exact payload byte count of a well-formed message:
+// the magic byte plus every field.
+func (s *Schema) PayloadSize() int {
+	n := 1
+	for _, f := range s.Fields {
+		n += f.Width()
+	}
+	return n
+}
+
+// NumFields implements Codec.
+func (s *Schema) NumFields() int { return len(s.Fields) }
+
+// Encode implements Codec: it renders the field vector as a complete
+// length-prefixed frame, failing with an *EncodeError when the vector has
+// the wrong arity or a value a field cannot represent.
+func (s *Schema) Encode(msg []int64) ([]byte, error) {
+	if len(msg) != len(s.Fields) {
+		return nil, encodeErr("", "schema %s has %d fields, vector has %d", s.Name, len(s.Fields), len(msg))
+	}
+	payload := make([]byte, 0, s.PayloadSize())
+	payload = append(payload, s.Magic)
+	var err error
+	for i, f := range s.Fields {
+		if payload, err = f.appendTo(payload, msg[i]); err != nil {
+			return nil, err
+		}
+	}
+	return AppendFrame(nil, payload, s.MaxFrame)
+}
+
+// Decode implements Codec: it parses a complete frame back into the field
+// vector. Every failure is a *DecodeError; Decode never panics, whatever
+// the input.
+func (s *Schema) Decode(frame []byte) ([]int64, error) {
+	payload, err := SplitFrame(frame, s.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 {
+		return nil, decodeErr(OutcomeShort, "empty payload, magic byte missing")
+	}
+	if payload[0] != s.Magic {
+		return nil, decodeErr(OutcomeBadMagic, "magic byte %#02x, want %#02x", payload[0], s.Magic)
+	}
+	rest := payload[1:]
+	out := make([]int64, len(s.Fields))
+	for i, f := range s.Fields {
+		w := f.Width()
+		if len(rest) < w {
+			return nil, decodeErr(OutcomeShort, "payload ends inside field %s (%d of %d bytes)",
+				f.Name, len(rest), w)
+		}
+		if out[i], err = f.decode(rest[:w]); err != nil {
+			return nil, err
+		}
+		rest = rest[w:]
+	}
+	if len(rest) != 0 {
+		return nil, decodeErr(OutcomeTrailing, "%d bytes after field %s", len(rest), s.Fields[len(s.Fields)-1].Name)
+	}
+	return out, nil
+}
+
+// Signature renders the schema canonically for input fingerprinting: two
+// schemas with equal signatures describe byte-identical wire formats.
+func (s *Schema) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s magic=%#02x max-frame=%d", s.Name, s.Magic, s.MaxFrame)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&b, " %s:%s", f.Name, f.kindString())
+	}
+	return b.String()
+}

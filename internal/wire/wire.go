@@ -1,0 +1,176 @@
+// Package wire bridges real byte streams and the NL field-vector messages
+// the rest of Achilles analyses. Every existing target speaks NL-model
+// messages directly; production systems validate bytes — malformed frames,
+// replayed handshakes, version-confused packets — so a byte-level target
+// needs three things this package provides:
+//
+//   - a Codec between concrete wire bytes and the flat []int64 message
+//     vectors the registry, the fuzzers and the replay oracles exchange;
+//   - reusable binary building blocks: length-prefixed framing with a
+//     maximum frame size and short-read handling (frame.go), big-endian
+//     integer fields and fixed-size nonce/key byte arrays under a
+//     magic-tagged, versioned envelope (schema.go);
+//   - a Lift layer (lift.go) that maps decode outcomes — including decode
+//     *errors* — onto NL-model predicates, so the symbolic engine explores
+//     exactly the malformed-input space the codec can produce and nothing
+//     else.
+//
+// The lifting contract is the heart of the package. A lifted message vector
+// is
+//
+//	msg[0]   = wire status (OutcomeOK or a decode-error class)
+//	msg[1..] = the schema's fields, in declaration order
+//
+// Correct clients only ever emit well-formed bytes, so client models pin
+// msg[0] to WIRE_OK; a server model must reject every nonzero status (a
+// real decoder fails structurally before the handler runs). Field domains
+// are pinned by the wire format itself — a u8 field can never decode
+// outside [0, 255] — and Lift.Guards renders those bounds as NL reject
+// lines so the model and the codec cannot drift apart. Decode errors that
+// bytes CAN produce (truncated frames, trailing garbage, a wrong magic,
+// corrupt key-array padding) become concrete values of msg[0]: the symbolic
+// engine explores them like any other field, and a server path that accepts
+// one is a Trojan by construction.
+//
+// Lowering goes the other way: Lift.Lower turns an analysis vector back
+// into concrete frame bytes — a clean encode for status WIRE_OK, and for a
+// decode-error status an exemplar frame exhibiting exactly that error — so
+// Trojan reports on lifted targets replay through real byte-speaking
+// implementations (the §4 soundness guard runs over the wire, not over the
+// AST).
+package wire
+
+import "fmt"
+
+// Codec converts between concrete wire bytes and registry message vectors.
+// Encode renders a field vector as a complete frame; Decode parses a frame
+// back. Decode must never panic on arbitrary bytes; failures return a
+// *DecodeError carrying the outcome class.
+type Codec interface {
+	// Encode renders the field vector (schema fields only, no wire-status
+	// slot) as a complete length-prefixed frame.
+	Encode(msg []int64) ([]byte, error)
+	// Decode parses a complete frame back into the field vector. The error,
+	// when non-nil, is a *DecodeError.
+	Decode(frame []byte) ([]int64, error)
+	// NumFields is the schema's field count (without the wire-status slot).
+	NumFields() int
+}
+
+// Outcome classifies one Decode attempt. OutcomeOK is zero so that lifted
+// message vectors read naturally: msg[0] == 0 means the frame decoded
+// cleanly.
+type Outcome int64
+
+// Decode outcome classes. The values are wire-stable: they appear in NL
+// model sources (via Lift.Prelude), in golden class sets and in persisted
+// trojan reports, so new classes must be appended, never renumbered.
+const (
+	// OutcomeOK: the frame decoded cleanly into a field vector.
+	OutcomeOK Outcome = 0
+	// OutcomeShort: the frame or its payload is truncated — the length
+	// prefix is cut off, promises more bytes than follow, or the payload
+	// ends inside a field.
+	OutcomeShort Outcome = 1
+	// OutcomeOversize: the length prefix promises a payload beyond the
+	// schema's maximum frame size.
+	OutcomeOversize Outcome = 2
+	// OutcomeTrailing: bytes follow the last field (or the frame carries
+	// more bytes than its length prefix declares).
+	OutcomeTrailing Outcome = 3
+	// OutcomeBadMagic: the envelope's magic/tag byte is wrong.
+	OutcomeBadMagic Outcome = 4
+	// OutcomePad: a fixed-size byte-array field (nonce/key material) is not
+	// in the codec's representable slice — its deterministic padding bytes
+	// are corrupt. See FieldBytes.
+	OutcomePad Outcome = 5
+
+	// numOutcomes bounds the class enum (used by Lift.Lower validation).
+	numOutcomes = 6
+)
+
+// String names the outcome class.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeShort:
+		return "short"
+	case OutcomeOversize:
+		return "oversize"
+	case OutcomeTrailing:
+		return "trailing"
+	case OutcomeBadMagic:
+		return "bad-magic"
+	case OutcomePad:
+		return "bad-pad"
+	}
+	return fmt.Sprintf("outcome(%d)", int64(o))
+}
+
+// ConstName renders the outcome's NL constant name (WIRE_OK, WIRE_SHORT,
+// ...), as emitted by Lift.Prelude.
+func (o Outcome) ConstName() string {
+	switch o {
+	case OutcomeOK:
+		return "WIRE_OK"
+	case OutcomeShort:
+		return "WIRE_SHORT"
+	case OutcomeOversize:
+		return "WIRE_OVERSIZE"
+	case OutcomeTrailing:
+		return "WIRE_TRAILING"
+	case OutcomeBadMagic:
+		return "WIRE_BADMAGIC"
+	case OutcomePad:
+		return "WIRE_BADPAD"
+	}
+	return ""
+}
+
+// Outcomes returns every decode-error class (OutcomeOK excluded), in enum
+// order.
+func Outcomes() []Outcome {
+	return []Outcome{OutcomeShort, OutcomeOversize, OutcomeTrailing, OutcomeBadMagic, OutcomePad}
+}
+
+// DecodeError is the typed error every failed Decode returns: the outcome
+// class plus a human-readable detail.
+type DecodeError struct {
+	Outcome Outcome
+	Detail  string
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("wire: decode failed (%s): %s", e.Outcome, e.Detail)
+}
+
+// Is makes errors.Is(err, &DecodeError{Outcome: c}) match on the class
+// alone, so callers can test for a specific decode failure without string
+// comparison.
+func (e *DecodeError) Is(target error) bool {
+	t, ok := target.(*DecodeError)
+	return ok && t.Outcome == e.Outcome
+}
+
+func decodeErr(o Outcome, format string, args ...any) *DecodeError {
+	return &DecodeError{Outcome: o, Detail: fmt.Sprintf(format, args...)}
+}
+
+// EncodeError is the typed error Encode returns when a field vector is not
+// representable on the wire (wrong arity, value outside a field's width).
+type EncodeError struct {
+	Field  string // field name, "" for vector-level failures
+	Detail string
+}
+
+func (e *EncodeError) Error() string {
+	if e.Field == "" {
+		return "wire: encode failed: " + e.Detail
+	}
+	return fmt.Sprintf("wire: encode failed (field %s): %s", e.Field, e.Detail)
+}
+
+func encodeErr(field, format string, args ...any) *EncodeError {
+	return &EncodeError{Field: field, Detail: fmt.Sprintf(format, args...)}
+}

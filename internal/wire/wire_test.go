@@ -1,0 +1,298 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// testSchema mirrors the noisehs layout shape: envelope + small integers +
+// a byte-array key field, with MaxFrame above the payload size so the
+// schema-level trailing case is reachable.
+func testSchema() *Schema {
+	return NewSchema("test", 0xA7, 48,
+		U8("version"),
+		U8("type"),
+		Bytes("keyid", 16),
+		U32("nonce"),
+		U32("cookie"),
+	)
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := testSchema()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		msg := []int64{
+			int64(r.Intn(256)),
+			int64(r.Intn(256)),
+			r.Int63() - r.Int63(), // full int64 domain, including negatives
+			int64(r.Uint32()),
+			int64(r.Uint32()),
+		}
+		frame, err := s.Encode(msg)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", msg, err)
+		}
+		got, err := s.Decode(frame)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", msg, err)
+		}
+		for j := range msg {
+			if got[j] != msg[j] {
+				t.Fatalf("round trip drift at field %d: sent %v, got %v", j, msg, got)
+			}
+		}
+		// Decode→Encode is a fixed point too: a cleanly decoding frame has
+		// exactly one byte representation.
+		again, err := s.Encode(got)
+		if err != nil {
+			t.Fatalf("re-Encode(%v): %v", got, err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("Encode(Decode(frame)) != frame for %v", msg)
+		}
+	}
+}
+
+func TestEncodeTypedErrors(t *testing.T) {
+	s := testSchema()
+	for _, tc := range []struct {
+		name string
+		msg  []int64
+	}{
+		{"arity", []int64{1, 2, 3}},
+		{"u8 negative", []int64{-1, 1, 0, 0, 0}},
+		{"u8 overflow", []int64{256, 1, 0, 0, 0}},
+		{"u32 overflow", []int64{1, 1, 0, 1 << 32, 0}},
+		{"u32 negative", []int64{1, 1, 0, 0, -5}},
+	} {
+		if _, err := s.Encode(tc.msg); err == nil {
+			t.Errorf("%s: Encode(%v) succeeded, want *EncodeError", tc.name, tc.msg)
+		} else if _, ok := err.(*EncodeError); !ok {
+			t.Errorf("%s: Encode error is %T, want *EncodeError", tc.name, err)
+		}
+	}
+}
+
+// wantOutcome asserts that Decode fails with exactly the given class.
+func wantOutcome(t *testing.T, s *Schema, frame []byte, want Outcome) {
+	t.Helper()
+	_, err := s.Decode(frame)
+	if err == nil {
+		t.Fatalf("Decode(% x) succeeded, want outcome %s", frame, want)
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("Decode error is %T, want *DecodeError", err)
+	}
+	if de.Outcome != want {
+		t.Fatalf("Decode(% x) outcome %s, want %s (%v)", frame, de.Outcome, want, err)
+	}
+	if !errors.Is(err, &DecodeError{Outcome: want}) {
+		t.Fatalf("errors.Is on class %s failed", want)
+	}
+}
+
+func TestDecodeTypedErrors(t *testing.T) {
+	s := testSchema()
+	good, err := s.Encode([]int64{2, 1, 7, 6, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncations at every possible cut point are all OutcomeShort.
+	for cut := 0; cut < len(good); cut++ {
+		// Cutting only the trailing part of the *frame* below the declared
+		// length is short; cutting nothing is the clean decode.
+		wantOutcome(t, s, good[:cut], OutcomeShort)
+	}
+	wantOutcome(t, s, nil, OutcomeShort)
+	wantOutcome(t, s, []byte{0x00}, OutcomeShort)
+
+	// Oversize: length prefix beyond MaxFrame.
+	wantOutcome(t, s, []byte{0xFF, 0xFF}, OutcomeOversize)
+
+	// Trailing, both flavours: bytes beyond the declared payload, and a
+	// declared payload longer than the field structure (MaxFrame allows it).
+	wantOutcome(t, s, append(append([]byte(nil), good...), 0xEE), OutcomeTrailing)
+	long := append(append([]byte(nil), good[FrameOverhead:]...), 0xEE)
+	framed, err := AppendFrame(nil, long, s.MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutcome(t, s, framed, OutcomeTrailing)
+
+	// Wrong magic.
+	bad := append([]byte(nil), good...)
+	bad[FrameOverhead] ^= 0x01
+	wantOutcome(t, s, bad, OutcomeBadMagic)
+
+	// Corrupt key-array padding.
+	pad := append([]byte(nil), good...)
+	pad[FrameOverhead+1+2+8] ^= 0x01 // magic + version + type, 9th key byte
+	wantOutcome(t, s, pad, OutcomePad)
+}
+
+func TestDecodeNeverPanicsOnArbitraryBytes(t *testing.T) {
+	s := testSchema()
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		frame := make([]byte, r.Intn(64))
+		r.Read(frame)
+		// Either outcome is fine; panicking is not.
+		if msg, err := s.Decode(frame); err == nil {
+			if again, err := s.Encode(msg); err != nil || !bytes.Equal(frame, again) {
+				t.Fatalf("clean decode of % x does not re-encode to itself", frame)
+			}
+		}
+	}
+}
+
+func TestReadFrame(t *testing.T) {
+	s := testSchema()
+	good, err := s.Encode([]int64{1, 1, 0, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two back-to-back frames stream out intact.
+	stream := append(append([]byte(nil), good...), good...)
+	r := bytes.NewReader(stream)
+	for i := 0; i < 2; i++ {
+		frame, err := ReadFrame(r, s.MaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(frame, good) {
+			t.Fatalf("frame %d drifted", i)
+		}
+	}
+	if _, err := ReadFrame(r, s.MaxFrame); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+
+	// A connection cut mid-payload is a typed short read, not io.EOF.
+	if _, err := ReadFrame(bytes.NewReader(good[:5]), s.MaxFrame); !errors.Is(err, &DecodeError{Outcome: OutcomeShort}) {
+		t.Fatalf("mid-payload cut: got %v, want OutcomeShort", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(good[:1]), s.MaxFrame); !errors.Is(err, &DecodeError{Outcome: OutcomeShort}) {
+		t.Fatalf("mid-prefix cut: got %v, want OutcomeShort", err)
+	}
+	// An oversize prefix is refused before the payload is read.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 1, 2, 3}), s.MaxFrame); !errors.Is(err, &DecodeError{Outcome: OutcomeOversize}) {
+		t.Fatalf("oversize prefix: got %v, want OutcomeOversize", err)
+	}
+}
+
+func TestLiftFrameAndLower(t *testing.T) {
+	l := NewLift(testSchema())
+	msg := []int64{0, 2, 2, -44, 7, 16}
+	frame, err := l.Lower(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.LiftFrame(frame)
+	if len(got) != l.NumFields() {
+		t.Fatalf("lifted vector has %d slots, want %d", len(got), l.NumFields())
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("lift round trip drift: sent %v, got %v", msg, got)
+		}
+	}
+	if names := l.FieldNames(); names[WireField] != "wire" || len(names) != 6 {
+		t.Fatalf("FieldNames = %v", names)
+	}
+}
+
+// TestMalformExemplarsDecodeToTheirClass pins the Lower/Malform contract:
+// for every decode-error class the schema can produce, the fabricated
+// exemplar frame decodes to exactly that class — so replaying a trojan
+// vector with a nonzero wire status exercises the real decoder's matching
+// failure path.
+func TestMalformExemplarsDecodeToTheirClass(t *testing.T) {
+	l := NewLift(testSchema())
+	fields := []int64{1, 2, 5, 6, 14}
+	for _, c := range l.Outcomes() {
+		vec := append([]int64{int64(c)}, fields...)
+		frame, err := l.Lower(vec)
+		if err != nil {
+			t.Fatalf("Lower(%s): %v", c, err)
+		}
+		got := l.LiftFrame(frame)
+		if got[WireField] != int64(c) {
+			t.Errorf("exemplar for %s decodes to class %d", c, got[WireField])
+		}
+	}
+	// Unknown classes are refused, not fabricated.
+	if _, err := l.Lower(append([]int64{99}, fields...)); err == nil {
+		t.Error("Lower accepted an unknown outcome class")
+	}
+	// Unrepresentable field parts fall back to the zero vector instead of
+	// failing the lowering: the class is what matters for replay.
+	vec := append([]int64{int64(OutcomeShort)}, []int64{-1, 999, 0, -3, 0}...)
+	frame, err := l.Lower(vec)
+	if err != nil {
+		t.Fatalf("Lower with unrepresentable fields: %v", err)
+	}
+	if got := l.LiftFrame(frame); got[WireField] != int64(OutcomeShort) {
+		t.Errorf("fallback exemplar decodes to class %d, want %d", got[WireField], OutcomeShort)
+	}
+}
+
+func TestPreludeAndGuards(t *testing.T) {
+	l := NewLift(testSchema())
+	pre := l.Prelude()
+	for _, want := range []string{
+		"const WIRE_OK = 0;",
+		"const WIRE_SHORT = 1;",
+		"const WIRE_OVERSIZE = 2;",
+		"const WIRE_TRAILING = 3;",
+		"const WIRE_BADMAGIC = 4;",
+		"const WIRE_BADPAD = 5;",
+		"var msg [6]int;",
+	} {
+		if !strings.Contains(pre, want) {
+			t.Errorf("Prelude missing %q:\n%s", want, pre)
+		}
+	}
+	g := l.Guards()
+	for _, want := range []string{
+		"if msg[0] != WIRE_OK { reject(); }",
+		"if msg[1] > 255 { reject(); }",
+		"if msg[4] > 4294967295 { reject(); }",
+	} {
+		if !strings.Contains(g, want) {
+			t.Errorf("Guards missing %q:\n%s", want, g)
+		}
+	}
+	// The byte-array field decodes to the full int64 domain: no width guard.
+	if strings.Contains(g, "msg[3] >") {
+		t.Errorf("Guards bound the bytes field:\n%s", g)
+	}
+}
+
+// TestSchemaValidation pins that invalid layouts fail fast at construction.
+func TestSchemaValidation(t *testing.T) {
+	for name, build := range map[string]func(){
+		"empty name":      func() { NewSchema("", 1, 0, U8("a")) },
+		"no fields":       func() { NewSchema("s", 1, 0) },
+		"dup field":       func() { NewSchema("s", 1, 0, U8("a"), U8("a")) },
+		"short bytes":     func() { NewSchema("s", 1, 0, Bytes("k", 4)) },
+		"tiny max frame":  func() { NewSchema("s", 1, 2, U32("a")) },
+		"huge max frame":  func() { NewSchema("s", 1, MaxFramePayload, U8("a")) },
+		"anonymous field": func() { NewSchema("s", 1, 0, U8("")) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid schema did not panic")
+				}
+			}()
+			build()
+		})
+	}
+}
